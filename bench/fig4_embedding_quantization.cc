@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates paper Fig. 4: the effect of embedding-table quantization
+ * on accuracy, across all five models, in two scenarios: (a) FP32
+ * weights with a 3b/4b embedding table — isolating the embedding
+ * effect — and (b) full GOBO quantization (3b/4b weights AND
+ * embeddings). Accuracies are normalized to the FP32 baseline, as in
+ * the figure.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "util/table.hh"
+
+using namespace gobo;
+using namespace gobo::bench;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = parseOptions(argc, argv);
+
+    std::puts("Fig. 4: effect of embedding-table quantization on "
+              "accuracy (MNLI-like task, normalized to FP32)\n");
+
+    ConsoleTable t({"Model", "FP32 W + 3b emb", "FP32 W + 4b emb",
+                    "GOBO 3b W + 3b emb", "GOBO 4b W + 4b emb"});
+
+    for (auto family : allFamilies()) {
+        auto setup = makeTask(family, TaskKind::MnliLike, opt);
+
+        auto norm = [&](unsigned weight_bits, unsigned emb_bits) {
+            ModelQuantOptions q;
+            if (weight_bits == 0) {
+                // FP32 weights: quantize embeddings only. Express via
+                // 8-bit... no — leave weights untouched by giving every
+                // layer the identity path: quantize a copy manually.
+                BertModel copy = setup.model;
+                GoboConfig cfg;
+                cfg.bits = emb_bits;
+                QuantizedTensor qe = quantizeTensor(copy.wordEmbedding,
+                                                    cfg);
+                copy.wordEmbedding = qe.dequantize();
+                return evaluate(copy, setup.data) / setup.baseline;
+            }
+            q = uniformOptions(weight_bits, CentroidMethod::Gobo,
+                               emb_bits);
+            return evalQuantized(setup, q) / setup.baseline;
+        };
+
+        t.addRow({familyName(family),
+                  ConsoleTable::num(norm(0, 3), 4),
+                  ConsoleTable::num(norm(0, 4), 4),
+                  ConsoleTable::num(norm(3, 3), 4),
+                  ConsoleTable::num(norm(4, 4), 4)});
+        std::printf("  [%s done, baseline %.4f]\n",
+                    familyName(family).c_str(), setup.baseline);
+    }
+    std::puts("");
+    t.print(std::cout);
+    std::puts("\npaper: embedding-only quantization stays within ~0.5%"
+              " of FP32 (sometimes above it); full GOBO with 4b keeps"
+              " accuracy, 3b costs ~0.2%.");
+    return 0;
+}

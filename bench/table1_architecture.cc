@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Regenerates paper Table I: the BERT architecture (per-component FC
+ * dimensions and layer counts) for BERT-Base and BERT-Large.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "model/config.hh"
+#include "util/table.hh"
+
+using namespace gobo;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseOptions(argc, argv);
+    auto base = fullConfig(ModelFamily::BertBase);
+    auto large = fullConfig(ModelFamily::BertLarge);
+
+    std::puts("Table I: BERT Architecture");
+    ConsoleTable t({"Component", "BERT-Base FC# x Dim",
+                    "BERT-Large FC# x Dim"});
+    auto dims = [](std::size_t a, std::size_t b) {
+        return std::to_string(a) + " x " + std::to_string(b);
+    };
+    t.addRow({"BERT layers", std::to_string(base.numLayers),
+              std::to_string(large.numLayers)});
+    t.addRow({"Attention", "4x " + dims(base.hidden, base.hidden),
+              "4x " + dims(large.hidden, large.hidden)});
+    t.addRow({"Intermediate",
+              "1x " + dims(base.hidden, base.intermediate),
+              "1x " + dims(large.hidden, large.intermediate)});
+    t.addRow({"Output", "1x " + dims(base.intermediate, base.hidden),
+              "1x " + dims(large.intermediate, large.hidden)});
+    t.addRow({"BERT Pooler", dims(base.hidden, base.hidden),
+              dims(large.hidden, large.hidden)});
+    t.addRow({"Total FC layers", std::to_string(base.numFcLayers()),
+              std::to_string(large.numFcLayers())});
+    t.addRow({"FC weight parameters",
+              std::to_string(base.fcWeightParams()),
+              std::to_string(large.fcWeightParams())});
+    t.print(std::cout);
+
+    std::puts("\npaper: 73 / 145 FC layers; 110M / 340M total params"
+              " (incl. embeddings)");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Regenerates paper Table II: memory footprint of BERT-Base and
+ * BERT-Large (embedding tables, weights, per-word activations) at
+ * sequence length 128.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "model/config.hh"
+#include "model/footprint.hh"
+#include "util/table.hh"
+
+using namespace gobo;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseOptions(argc, argv);
+    auto base = footprint(fullConfig(ModelFamily::BertBase));
+    auto large = footprint(fullConfig(ModelFamily::BertLarge));
+
+    std::puts("Table II: BERT Memory Footprint (seq length 128)");
+    ConsoleTable t({"Row", "BERT-Base", "BERT-Large", "paper"});
+    t.addRow({"Embedding Tables",
+              ConsoleTable::num(toMiB(base.embeddingBytes), 2) + " MB",
+              ConsoleTable::num(toMiB(large.embeddingBytes), 2) + " MB",
+              "89.42 / 119.22 MB"});
+    t.addRow({"Weights",
+              ConsoleTable::num(toMiB(base.weightBytes), 2) + " MB",
+              ConsoleTable::num(toMiB(large.weightBytes) / 1024.0, 2)
+                  + " GB",
+              "326.26 MB / 1.12 GB"});
+    t.addRow({"Model Input per Word",
+              ConsoleTable::num(toKiB(base.inputPerWordBytes), 0) + " KB",
+              ConsoleTable::num(toKiB(large.inputPerWordBytes), 0) + " KB",
+              "3 / 4 KB"});
+    t.addRow({"Largest layer Acts per Word",
+              ConsoleTable::num(toKiB(base.largestActPerWordBytes), 0)
+                  + " KB",
+              ConsoleTable::num(toKiB(large.largestActPerWordBytes), 0)
+                  + " KB",
+              "12 / 16 KB"});
+    t.addRow({"Sequence Length", std::to_string(base.sequenceLength),
+              std::to_string(large.sequenceLength), "128 / 128"});
+    t.addRow({"Activations",
+              ConsoleTable::num(toMiB(base.activationBytes), 1) + " MB",
+              ConsoleTable::num(toMiB(large.activationBytes), 1) + " MB",
+              "1.5 / 2 MB"});
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,130 @@
+// Calibration / sensitivity explorer.
+//
+// Prints the empirical quantities the experiment suite depends on:
+// the detected outlier census at full scale, the GOBO vs K-Means
+// convergence ratio, the task baselines, and the metric loss of each
+// centroid policy at each bit width on the mini BERT-Base. Useful when
+// adapting the synthetic distributions (DESIGN.md documents the knobs
+// this explores), and doubles as an end-to-end smoke run of every
+// subsystem.
+//
+// Run: ./calibrate [all|conv|census|mnli|stsb|squad]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/outliers.hh"
+#include "core/quantizer.hh"
+#include "model/generate.hh"
+#include "nn/encoder.hh"
+#include "task/task.hh"
+#include "util/timer.hh"
+
+using namespace gobo;
+
+namespace {
+
+void
+convergenceCheck()
+{
+    // One representative full-size BERT-Base layer (Fig. 2 setting).
+    auto cfg = fullConfig(ModelFamily::BertBase);
+    auto specs = fcLayerSpecs(cfg);
+    const auto &spec = specs[6 * 5 + 4]; // encoder5.intermediate
+    Tensor w = generateFcWeight(cfg, spec, 42);
+
+    WallTimer t;
+    auto split = splitOutliers(w.flat(), -4.0);
+    auto gobo_r = clusterWeights(split.gValues, 3, CentroidMethod::Gobo);
+    double gobo_ms = t.milliseconds();
+    t.reset();
+    auto km_r = clusterWeights(split.gValues, 3, CentroidMethod::KMeans);
+    double km_ms = t.milliseconds();
+
+    std::printf("[convergence] layer %s (%zu weights, %.3f%% outliers)\n",
+                spec.name.c_str(), w.size(),
+                100.0 * split.outlierFraction());
+    std::printf("  GOBO: %zu iters (%.1f ms)  L1 %.1f L2 %.2f\n",
+                gobo_r.iterations, gobo_ms, gobo_r.finalL1,
+                gobo_r.finalL2);
+    std::printf("  KMeans: %zu iters (%.1f ms)  L1 %.1f L2 %.2f\n",
+                km_r.iterations, km_ms, km_r.finalL1, km_r.finalL2);
+    std::printf("  speedup: %.1fx\n",
+                static_cast<double>(km_r.iterations)
+                    / static_cast<double>(std::max<std::size_t>(
+                        1, gobo_r.iterations)));
+}
+
+void
+outlierCensus()
+{
+    auto cfg = fullConfig(ModelFamily::BertBase);
+    ModelQuantOptions opt;
+    opt.base.bits = 3;
+    opt.embeddingBits = 4;
+    WallTimer t;
+    auto report = quantizeConfigStreaming(cfg, 42, opt);
+    std::printf("[census] BERT-Base full scale in %.1f s\n", t.seconds());
+    std::printf("  overall outlier fraction: %.4f%%\n",
+                100.0 * report.overallOutlierFraction());
+    std::printf("  weight CR: %.2fx  total CR: %.2fx  emb CR: %.2fx\n",
+                report.weightCompressionRatio(),
+                report.totalCompressionRatio(),
+                report.embeddingCompressionRatio());
+    double min_f = 1.0, max_f = 0.0;
+    for (const auto &l : report.layers) {
+        min_f = std::min(min_f, l.stats.outlierFraction);
+        max_f = std::max(max_f, l.stats.outlierFraction);
+    }
+    std::printf("  per-layer outlier fraction: min %.3f%% max %.3f%%\n",
+                100.0 * min_f, 100.0 * max_f);
+}
+
+void
+accuracySweep(TaskKind kind)
+{
+    auto cfg = miniConfig(ModelFamily::BertBase);
+    BertModel model = generateModel(cfg, 42);
+    auto spec = defaultSpec(kind, 42);
+    Dataset data = buildTask(model, spec);
+
+    WallTimer t;
+    double baseline = evaluate(model, data);
+    std::printf("[%s] baseline %.4f (%.1f s/eval)\n", taskName(kind),
+                baseline, t.seconds());
+
+    for (auto method : {CentroidMethod::Gobo, CentroidMethod::KMeans,
+                        CentroidMethod::Linear}) {
+        for (unsigned bits : {2u, 3u, 4u, 5u}) {
+            BertModel q = model;
+            ModelQuantOptions opt;
+            opt.base.bits = bits;
+            opt.base.method = method;
+            quantizeModelInPlace(q, opt);
+            double score = evaluate(q, data);
+            std::printf("  %-8s %ub: %.4f (err %+.4f)\n",
+                        centroidMethodName(method), bits, score,
+                        baseline - score);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string what = argc > 1 ? argv[1] : "all";
+    if (what == "all" || what == "conv")
+        convergenceCheck();
+    if (what == "all" || what == "census")
+        outlierCensus();
+    if (what == "all" || what == "mnli")
+        accuracySweep(TaskKind::MnliLike);
+    if (what == "stsb")
+        accuracySweep(TaskKind::StsbLike);
+    if (what == "squad")
+        accuracySweep(TaskKind::SquadLike);
+    return 0;
+}

@@ -1,0 +1,100 @@
+// Mixed-precision policy exploration (the paper's RoBERTa recipe).
+//
+// RoBERTa loses ~8% accuracy under uniform 3-bit GOBO; the paper
+// localizes the damage to the Value and Intermediate FCs of the early
+// encoders and fixes it by giving just those layers 4 bits. This
+// example reproduces that workflow:
+//
+//   1. per-layer sensitivity scan — quantize one layer kind at a time
+//      and measure the accuracy drop,
+//   2. apply the mixed 3b/4b policy to the kinds the scan flags,
+//   3. compare accuracy and effective bits per weight against the
+//      uniform 3-bit and 4-bit baselines.
+//
+// Run: ./mixed_precision
+
+#include <cstdio>
+
+#include "core/quantizer.hh"
+#include "model/generate.hh"
+#include "task/task.hh"
+
+int
+main()
+{
+    using namespace gobo;
+
+    auto cfg = miniConfig(ModelFamily::RoBerta);
+    BertModel model = generateModel(cfg, 7);
+    TaskSpec spec = defaultSpec(TaskKind::MnliLike, ModelFamily::RoBerta,
+                                7);
+    spec.numExamples = 600;
+    Dataset dev = buildTask(model, spec);
+    double baseline = evaluate(model, dev);
+    std::printf("%s baseline: %.2f%%\n\n", cfg.name.c_str(),
+                100.0 * baseline);
+
+    // 1. Sensitivity scan: 3-bit one FC kind at a time, early encoders
+    // only (where the paper localizes the sensitivity).
+    std::puts("per-kind sensitivity (3-bit on that kind in encoders "
+              "0-5, FP32 elsewhere):");
+    for (FcKind kind : {FcKind::Query, FcKind::Key, FcKind::Value,
+                        FcKind::AttnOutput, FcKind::Intermediate,
+                        FcKind::Output}) {
+        BertModel probe = model;
+        GoboConfig qcfg;
+        qcfg.bits = 3;
+        for (auto &layer : probe.fcLayers()) {
+            if (layer.kind != kind || layer.encoder >= cfg.numLayers / 2)
+                continue;
+            *layer.weight = quantizeTensor(*layer.weight, qcfg)
+                                .dequantize();
+        }
+        double acc = evaluate(probe, dev);
+        std::printf("  %-12s drop %+6.2f%%\n", fcKindName(kind).c_str(),
+                    100.0 * (baseline - acc));
+    }
+
+    // 2./3. Uniform vs mixed policies.
+    auto run = [&](const char *label, ModelQuantOptions opt,
+                   double bits_avg) {
+        BertModel copy = model;
+        quantizeModelInPlace(copy, opt);
+        double acc = evaluate(copy, dev);
+        std::printf("  %-14s accuracy %6.2f%% (drop %5.2f%%), "
+                    "%.2f bits/weight => potential %.2fx\n",
+                    label, 100.0 * acc, 100.0 * (baseline - acc),
+                    bits_avg, 32.0 / bits_avg);
+    };
+
+    // Average bits of the mixed policy over the full-size dims.
+    auto mixed_bits = [&]() {
+        auto full = fullConfig(ModelFamily::RoBerta);
+        auto policy = mixedPolicy(6, 3, 4);
+        double weighted = 0.0, total = 0.0;
+        for (const auto &s : fcLayerSpecs(full)) {
+            auto n = static_cast<double>(s.rows * s.cols);
+            weighted += n * policy(s.kind, s.encoder);
+            total += n;
+        }
+        return weighted / total;
+    }();
+
+    std::puts("\npolicy comparison:");
+    ModelQuantOptions uniform3;
+    uniform3.base.bits = 3;
+    run("uniform 3b", uniform3, 3.0);
+
+    ModelQuantOptions mixed;
+    mixed.base.bits = 3;
+    mixed.bitsFor = mixedPolicy(cfg.numLayers / 2, 3, 4);
+    run("mixed 3b/4b", mixed, mixed_bits);
+
+    ModelQuantOptions uniform4;
+    uniform4.base.bits = 4;
+    run("uniform 4b", uniform4, 4.0);
+
+    std::puts("\npaper: uniform 3b loses 7.92%, mixed 3b/4b only 1.41% "
+              "at 10.13x, uniform 4b 0.30% at 8x.");
+    return 0;
+}

@@ -1,0 +1,100 @@
+#include "baselines/q8bert.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/generate.hh"
+#include "util/logging.hh"
+
+namespace gobo {
+
+Tensor
+Q8Tensor::dequantize() const
+{
+    Tensor t(rows, cols);
+    auto flat = t.flat();
+    panicIf(values.size() != flat.size(), "Q8Tensor size mismatch");
+    for (std::size_t i = 0; i < flat.size(); ++i)
+        flat[i] = scale * static_cast<float>(values[i]);
+    return t;
+}
+
+std::size_t
+Q8Tensor::payloadBytes() const
+{
+    return values.size() + sizeof(float);
+}
+
+Q8Tensor
+quantizeQ8(const Tensor &weights)
+{
+    fatalIf(weights.size() == 0, "quantizeQ8 on empty tensor");
+    Q8Tensor q;
+    q.rows = weights.rows();
+    q.cols = weights.cols();
+
+    float max_abs = 0.0f;
+    for (float v : weights.flat())
+        max_abs = std::max(max_abs, std::abs(v));
+    q.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+
+    q.values.reserve(weights.size());
+    for (float v : weights.flat()) {
+        float r = std::round(v / q.scale);
+        r = std::clamp(r, -127.0f, 127.0f);
+        q.values.push_back(static_cast<std::int8_t>(r));
+    }
+    return q;
+}
+
+ModelQuantReport
+q8bertQuantizeModelInPlace(BertModel &model)
+{
+    ModelQuantReport report;
+    for (auto &layer : model.fcLayers()) {
+        Q8Tensor q = quantizeQ8(*layer.weight);
+        LayerReportEntry entry;
+        entry.name = layer.name;
+        entry.kind = layer.kind;
+        entry.encoder = layer.encoder;
+        entry.elements = layer.weight->size();
+        entry.bits = 8;
+        entry.payloadBytes = q.payloadBytes();
+        report.layers.push_back(entry);
+        report.weightOriginalBytes += layer.weight->size() * sizeof(float);
+        report.weightPayloadBytes += q.payloadBytes();
+        *layer.weight = q.dequantize();
+    }
+
+    report.embeddingOriginalBytes = model.wordEmbedding.size()
+                                    * sizeof(float);
+    Q8Tensor emb = quantizeQ8(model.wordEmbedding);
+    report.embeddingPayloadBytes = emb.payloadBytes();
+    model.wordEmbedding = emb.dequantize();
+    return report;
+}
+
+ModelQuantReport
+q8bertAccountConfig(const ModelConfig &config)
+{
+    ModelQuantReport report;
+    for (const auto &spec : fcLayerSpecs(config)) {
+        LayerReportEntry entry;
+        entry.name = spec.name;
+        entry.kind = spec.kind;
+        entry.encoder = spec.encoder;
+        entry.elements = spec.rows * spec.cols;
+        entry.bits = 8;
+        entry.payloadBytes = entry.elements + sizeof(float);
+        report.layers.push_back(entry);
+        report.weightOriginalBytes += entry.elements * sizeof(float);
+        report.weightPayloadBytes += entry.payloadBytes;
+    }
+    report.embeddingOriginalBytes = config.wordEmbeddingParams()
+                                    * sizeof(float);
+    report.embeddingPayloadBytes = config.wordEmbeddingParams()
+                                   + sizeof(float);
+    return report;
+}
+
+} // namespace gobo

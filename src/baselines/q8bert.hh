@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Q8BERT-like baseline: symmetric 8-bit fixed-point quantization.
+ *
+ * Intel's Q8BERT [Zafrir et al.] fine-tunes BERT into 8-bit fixed-point
+ * weights and activations. Fine-tuning is not available in this
+ * post-training reproduction, so we implement the storage format and
+ * the weight quantizer (symmetric linear, per-tensor scale) and apply
+ * it post-training; EXPERIMENTS.md notes that this is pessimistic for
+ * the baseline's accuracy but leaves its compression ratio — the axis
+ * Table III compares — exact: 8 bits everywhere is 4x.
+ */
+
+#ifndef GOBO_BASELINES_Q8BERT_HH
+#define GOBO_BASELINES_Q8BERT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quantizer.hh"
+#include "model/config.hh"
+#include "model/model.hh"
+#include "tensor/tensor.hh"
+
+namespace gobo {
+
+/** An 8-bit symmetric fixed-point tensor. */
+struct Q8Tensor
+{
+    std::size_t rows = 0, cols = 0;
+    float scale = 1.0f;            ///< value = scale * int8.
+    std::vector<std::int8_t> values;
+
+    /** Reconstruct the FP32 tensor. */
+    Tensor dequantize() const;
+
+    /** Exact storage cost in bytes (int8 payload + the scale). */
+    std::size_t payloadBytes() const;
+};
+
+/** Quantize one tensor to symmetric int8 with a per-tensor scale. */
+Q8Tensor quantizeQ8(const Tensor &weights);
+
+/**
+ * Apply Q8BERT-style quantization to every FC weight matrix and the
+ * word embedding (Q8BERT keeps embeddings 8-bit too), replacing each
+ * with its decoded form. Returns the storage accounting in the same
+ * report shape as the GOBO driver.
+ */
+ModelQuantReport q8bertQuantizeModelInPlace(BertModel &model);
+
+/**
+ * Accounting-only Q8BERT pass over a full-size configuration
+ * (analytic: the int8 format's size does not depend on the data).
+ */
+ModelQuantReport q8bertAccountConfig(const ModelConfig &config);
+
+} // namespace gobo
+
+#endif // GOBO_BASELINES_Q8BERT_HH

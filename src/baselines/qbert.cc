@@ -1,0 +1,141 @@
+#include "baselines/qbert.hh"
+
+#include <algorithm>
+
+#include "baselines/q8bert.hh"
+#include "core/cluster.hh"
+#include "model/generate.hh"
+#include "util/bitstream.hh"
+#include "util/logging.hh"
+
+namespace gobo {
+
+std::size_t
+GroupQuantTensor::groupOf(std::size_t row) const
+{
+    panicIf(row >= rows, "groupOf row out of range");
+    return (row * dictionaries.size()) / rows;
+}
+
+Tensor
+GroupQuantTensor::dequantize() const
+{
+    Tensor t(rows, cols);
+    BitReader reader(packedIndexes.data(), elementCount() * bits);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const auto &dict = dictionaries[groupOf(r)];
+        auto row = t.row(r);
+        for (auto &v : row) {
+            std::uint32_t idx = reader.get(bits);
+            fatalIf(idx >= dict.size(), "group dictionary index ", idx,
+                    " out of ", dict.size());
+            v = dict[idx];
+        }
+    }
+    return t;
+}
+
+std::size_t
+GroupQuantTensor::payloadBytes() const
+{
+    std::size_t bits_total = elementCount() * bits;
+    for (const auto &dict : dictionaries)
+        bits_total += dict.size() * 32;
+    return (bits_total + 7) / 8;
+}
+
+GroupQuantTensor
+quantizeGroupwise(const Tensor &weights, unsigned bits,
+                  std::size_t groups, CentroidMethod method)
+{
+    fatalIf(weights.rank() != 2, "quantizeGroupwise needs a matrix");
+    fatalIf(bits == 0 || bits > 8, "bits out of range: ", bits);
+    fatalIf(groups == 0, "need at least one group");
+
+    GroupQuantTensor q;
+    q.rows = weights.rows();
+    q.cols = weights.cols();
+    q.bits = bits;
+    std::size_t n_groups = std::min(groups, q.rows);
+    q.dictionaries.resize(n_groups);
+
+    // Cluster each contiguous row-group independently, then pack all
+    // indexes row-major in one stream.
+    BitWriter writer;
+    std::size_t g_begin = 0;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+        std::size_t g_end = ((g + 1) * q.rows) / n_groups;
+        panicIf(g_begin >= g_end, "empty row group");
+        std::span<const float> block{weights.row(g_begin).data(),
+                                     (g_end - g_begin) * q.cols};
+        auto cluster = clusterWeights(block, bits, method);
+        q.dictionaries[g] = cluster.centroids;
+        auto idx = assignNearest(block, q.dictionaries[g]);
+        for (auto v : idx)
+            writer.put(v, bits);
+        g_begin = g_end;
+    }
+    q.packedIndexes = writer.take();
+    return q;
+}
+
+ModelQuantReport
+qbertQuantizeModelInPlace(BertModel &model, unsigned bits,
+                          std::size_t groups)
+{
+    ModelQuantReport report;
+    for (auto &layer : model.fcLayers()) {
+        GroupQuantTensor q = quantizeGroupwise(*layer.weight, bits,
+                                               groups);
+        LayerReportEntry entry;
+        entry.name = layer.name;
+        entry.kind = layer.kind;
+        entry.encoder = layer.encoder;
+        entry.elements = q.elementCount();
+        entry.bits = bits;
+        entry.payloadBytes = q.payloadBytes();
+        report.layers.push_back(entry);
+        report.weightOriginalBytes += q.elementCount() * sizeof(float);
+        report.weightPayloadBytes += q.payloadBytes();
+        *layer.weight = q.dequantize();
+    }
+
+    // Q-BERT quantizes the embedding tables to 8 bits.
+    report.embeddingOriginalBytes = model.wordEmbedding.size()
+                                    * sizeof(float);
+    Q8Tensor emb = quantizeQ8(model.wordEmbedding);
+    report.embeddingPayloadBytes = emb.payloadBytes();
+    model.wordEmbedding = emb.dequantize();
+    return report;
+}
+
+ModelQuantReport
+qbertAccountConfig(const ModelConfig &config, unsigned bits,
+                   std::size_t groups)
+{
+    ModelQuantReport report;
+    for (const auto &spec : fcLayerSpecs(config)) {
+        std::size_t elements = spec.rows * spec.cols;
+        std::size_t n_groups = std::min(groups, spec.rows);
+        LayerReportEntry entry;
+        entry.name = spec.name;
+        entry.kind = spec.kind;
+        entry.encoder = spec.encoder;
+        entry.elements = elements;
+        entry.bits = bits;
+        entry.payloadBytes = (elements * bits
+                              + n_groups * (std::size_t{1} << bits) * 32
+                              + 7)
+                             / 8;
+        report.layers.push_back(entry);
+        report.weightOriginalBytes += elements * sizeof(float);
+        report.weightPayloadBytes += entry.payloadBytes;
+    }
+    report.embeddingOriginalBytes = config.wordEmbeddingParams()
+                                    * sizeof(float);
+    report.embeddingPayloadBytes = config.wordEmbeddingParams()
+                                   + sizeof(float);
+    return report;
+}
+
+} // namespace gobo

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Q-BERT-like baseline: per-group dictionary quantization.
+ *
+ * Q-BERT [Shen et al.] quantizes each layer's weights to 2^B
+ * representative values per group, splitting every layer into 128
+ * groups with one dictionary each, and keeps embeddings at 8 bits. Its
+ * centroid search uses second-order (Hessian) information gathered
+ * during fine-tuning; post-training we substitute per-group K-Means
+ * from the same data, which preserves the storage format exactly
+ * (the axis Table III compares) and is the standard data-only stand-in
+ * for the Hessian-weighted objective.
+ */
+
+#ifndef GOBO_BASELINES_QBERT_HH
+#define GOBO_BASELINES_QBERT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quantizer.hh"
+#include "model/config.hh"
+#include "model/model.hh"
+#include "tensor/tensor.hh"
+
+namespace gobo {
+
+/** A per-group dictionary-quantized tensor (Q-BERT storage format). */
+struct GroupQuantTensor
+{
+    std::size_t rows = 0, cols = 0;
+    unsigned bits = 0;
+    /** One dictionary (2^bits entries) per group of contiguous rows. */
+    std::vector<std::vector<float>> dictionaries;
+    /** Packed B-bit dictionary indexes, row-major. */
+    std::vector<std::uint8_t> packedIndexes;
+
+    std::size_t elementCount() const { return rows * cols; }
+
+    /** Group index of a row. */
+    std::size_t groupOf(std::size_t row) const;
+
+    /** Reconstruct the FP32 tensor. */
+    Tensor dequantize() const;
+
+    /** Exact storage cost: indexes + all dictionaries. */
+    std::size_t payloadBytes() const;
+};
+
+/**
+ * Quantize one tensor Q-BERT-style.
+ * @param bits index width (Q-BERT uses 2..4 for weights).
+ * @param groups number of per-layer groups (128 in the paper).
+ * @param method per-group centroid policy — K-Means is Q-BERT's
+ *        post-training stand-in; CentroidMethod::Gobo turns this into
+ *        the "per-group GOBO tables" design-ablation of DESIGN.md.
+ */
+GroupQuantTensor quantizeGroupwise(
+    const Tensor &weights, unsigned bits, std::size_t groups = 128,
+    CentroidMethod method = CentroidMethod::KMeans);
+
+/**
+ * Apply Q-BERT-style quantization to every FC weight matrix (B-bit
+ * groupwise dictionaries) and the word embedding (8-bit fixed point,
+ * as in the paper), replacing each with its decoded form.
+ */
+ModelQuantReport qbertQuantizeModelInPlace(BertModel &model, unsigned bits,
+                                           std::size_t groups = 128);
+
+/** Accounting-only Q-BERT pass over a full-size configuration. */
+ModelQuantReport qbertAccountConfig(const ModelConfig &config,
+                                    unsigned bits,
+                                    std::size_t groups = 128);
+
+} // namespace gobo
+
+#endif // GOBO_BASELINES_QBERT_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The GOBO compressed-model container ("GOBC").
+ *
+ * This is the deployable artifact of the whole pipeline: every FC
+ * weight matrix stored in the GOBO format (packed B-bit indexes, FP32
+ * centroid table, FP32 outliers), the word embedding optionally
+ * quantized the same way, and everything the paper leaves FP32 —
+ * biases, layer norms, position embeddings, the task head — stored
+ * raw. Loading decodes back into a plain FP32 BertModel, which is what
+ * makes GOBO "plug-in compatible with any execution engine": the
+ * loaded model runs through the unmodified inference engine.
+ *
+ * The file size is the honest end-to-end measurement behind the
+ * compression-ratio claims: compare it against the FP32 model written
+ * by saveModel().
+ */
+
+#ifndef GOBO_CORE_CONTAINER_HH
+#define GOBO_CORE_CONTAINER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/quantizer.hh"
+#include "model/model.hh"
+
+namespace gobo {
+
+/**
+ * Quantize `model`'s FC weights (and optionally the word embedding)
+ * per `options` and write the compressed container. The model itself
+ * is not modified. Returns the same accounting quantizeModelInPlace
+ * produces.
+ */
+ModelQuantReport saveCompressedModel(std::ostream &os,
+                                     const BertModel &model,
+                                     const ModelQuantOptions &options);
+
+/** File variant. Fatal if the file cannot be opened or written. */
+ModelQuantReport saveCompressedModel(const std::string &path,
+                                     const BertModel &model,
+                                     const ModelQuantOptions &options);
+
+/**
+ * Load a container and decode it into an FP32 model. Fatal on
+ * malformed input.
+ */
+BertModel loadCompressedModel(std::istream &is);
+
+/** File variant. Fatal if the file cannot be opened. */
+BertModel loadCompressedModel(const std::string &path);
+
+} // namespace gobo
+
+#endif // GOBO_CORE_CONTAINER_HH

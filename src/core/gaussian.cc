@@ -1,0 +1,52 @@
+#include "core/gaussian.hh"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace gobo {
+
+GaussianFit::GaussianFit(double mean, double sigma) : mu(mean), sd(sigma)
+{
+    fatalIf(!(sigma > 0.0), "GaussianFit needs sigma > 0, got ", sigma);
+    logNorm = -std::log(sd * std::sqrt(2.0 * std::numbers::pi));
+}
+
+GaussianFit
+GaussianFit::fit(std::span<const float> xs)
+{
+    fatalIf(xs.size() < 2, "GaussianFit::fit needs at least two samples");
+    RunningStats rs;
+    rs.addAll(xs);
+    double sd = rs.stddev();
+    fatalIf(sd == 0.0, "GaussianFit::fit on constant data");
+    return {rs.mean(), sd};
+}
+
+double
+GaussianFit::logPdf(double x) const
+{
+    double z = (x - mu) / sd;
+    return logNorm - 0.5 * z * z;
+}
+
+double
+GaussianFit::zCutoff(double log_prob_threshold) const
+{
+    // logNorm - z^2/2 < threshold  <=>  z^2 > 2 (logNorm - threshold).
+    double rhs = 2.0 * (logNorm - log_prob_threshold);
+    if (rhs <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return std::sqrt(rhs);
+}
+
+double
+GaussianFit::absoluteCutoff(double log_prob_threshold) const
+{
+    return zCutoff(log_prob_threshold) * sd;
+}
+
+} // namespace gobo

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Single-component Gaussian fit and log-PDF scoring.
+ *
+ * The paper fits one Gaussian per layer (it uses
+ * scikit-learn GaussianMixture with a single component, which reduces
+ * to the sample mean and standard deviation) and scores every weight
+ * with the Gaussian log-PDF; weights scoring below a threshold
+ * (default -4) are outliers. This header reproduces that exact
+ * computation.
+ */
+
+#ifndef GOBO_CORE_GAUSSIAN_HH
+#define GOBO_CORE_GAUSSIAN_HH
+
+#include <span>
+
+namespace gobo {
+
+/** A fitted Gaussian N(mean, sigma^2). */
+class GaussianFit
+{
+  public:
+    /** Fit to data by maximum likelihood (sample mean / population std). */
+    static GaussianFit fit(std::span<const float> xs);
+
+    GaussianFit(double mean, double sigma);
+
+    double mean() const { return mu; }
+    double sigma() const { return sd; }
+
+    /** Natural-log PDF at x (what sklearn's score_samples returns). */
+    double logPdf(double x) const;
+
+    /**
+     * The |z| beyond which logPdf(x) < threshold; weights farther than
+     * this many sigmas from the mean are outliers. Returns +inf when no
+     * finite value scores below the threshold.
+     */
+    double zCutoff(double log_prob_threshold) const;
+
+    /**
+     * Absolute-value cut: |x - mean| > cut() means outlier. Convenience
+     * wrapper over zCutoff for the hot detection loop.
+     */
+    double absoluteCutoff(double log_prob_threshold) const;
+
+  private:
+    double mu;
+    double sd;
+    double logNorm; ///< -log(sigma * sqrt(2*pi)), cached.
+};
+
+} // namespace gobo
+
+#endif // GOBO_CORE_GAUSSIAN_HH

@@ -1,0 +1,176 @@
+#include "core/mixture.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace gobo {
+
+namespace {
+
+constexpr double logTwoPi = 1.8378770664093453; // log(2*pi)
+
+/** log N(x | mean, sigma^2). */
+double
+logNormal(double x, double mean, double sigma)
+{
+    double z = (x - mean) / sigma;
+    return -0.5 * (logTwoPi + z * z) - std::log(sigma);
+}
+
+/** log(sum(exp(a_i))) over a small fixed-size set, stable. */
+double
+logSumExp(std::span<const double> a)
+{
+    double mx = -std::numeric_limits<double>::infinity();
+    for (double v : a)
+        mx = std::max(mx, v);
+    if (!std::isfinite(mx))
+        return mx;
+    double s = 0.0;
+    for (double v : a)
+        s += std::exp(v - mx);
+    return mx + std::log(s);
+}
+
+} // namespace
+
+GaussianMixture
+GaussianMixture::fit(std::span<const float> xs, std::size_t k,
+                     std::size_t max_iterations, double tol)
+{
+    fatalIf(xs.size() < 2, "GaussianMixture::fit needs >= 2 samples");
+    fatalIf(k == 0, "GaussianMixture::fit needs >= 1 component");
+    fatalIf(k > 16, "GaussianMixture::fit supports <= 16 components");
+
+    RunningStats rs;
+    rs.addAll(xs);
+    double global_sd = rs.stddev();
+    fatalIf(global_sd == 0.0, "GaussianMixture::fit on constant data");
+
+    GaussianMixture gm;
+    gm.comps.resize(k);
+    // Initialization: equal weights, common mean, staggered scales —
+    // natural for the "narrow bulk + wide shoulder" shapes we model.
+    for (std::size_t c = 0; c < k; ++c) {
+        gm.comps[c].weight = 1.0 / static_cast<double>(k);
+        gm.comps[c].mean = rs.mean();
+        gm.comps[c].sigma = global_sd
+                            * (0.5 + static_cast<double>(c));
+    }
+    if (k == 1) {
+        gm.comps[0] = {1.0, rs.mean(), global_sd};
+        gm.meanLl = 0.0;
+        for (float x : xs)
+            gm.meanLl += logNormal(x, rs.mean(), global_sd);
+        gm.meanLl /= static_cast<double>(xs.size());
+        gm.iters = 0;
+        return gm;
+    }
+
+    auto n = static_cast<double>(xs.size());
+    std::vector<double> log_terms(k);
+    std::vector<double> resp_sum(k), resp_x(k), resp_xx(k);
+    double prev_ll = -std::numeric_limits<double>::infinity();
+
+    for (std::size_t iter = 1; iter <= max_iterations; ++iter) {
+        std::fill(resp_sum.begin(), resp_sum.end(), 0.0);
+        std::fill(resp_x.begin(), resp_x.end(), 0.0);
+        std::fill(resp_xx.begin(), resp_xx.end(), 0.0);
+        double ll = 0.0;
+
+        // E step with on-the-fly sufficient statistics.
+        for (float xf : xs) {
+            double x = xf;
+            for (std::size_t c = 0; c < k; ++c)
+                log_terms[c] = std::log(gm.comps[c].weight)
+                               + logNormal(x, gm.comps[c].mean,
+                                           gm.comps[c].sigma);
+            double lse = logSumExp(log_terms);
+            ll += lse;
+            for (std::size_t c = 0; c < k; ++c) {
+                double r = std::exp(log_terms[c] - lse);
+                resp_sum[c] += r;
+                resp_x[c] += r * x;
+                resp_xx[c] += r * x * x;
+            }
+        }
+        ll /= n;
+
+        // M step.
+        for (std::size_t c = 0; c < k; ++c) {
+            if (resp_sum[c] < 1e-9) {
+                // Dead component: reset onto the global distribution.
+                gm.comps[c] = {1.0 / n, rs.mean(), global_sd};
+                continue;
+            }
+            double w = resp_sum[c] / n;
+            double mu = resp_x[c] / resp_sum[c];
+            double var = resp_xx[c] / resp_sum[c] - mu * mu;
+            gm.comps[c].weight = w;
+            gm.comps[c].mean = mu;
+            gm.comps[c].sigma = std::sqrt(
+                std::max(var, 1e-12 * global_sd * global_sd));
+        }
+
+        gm.iters = iter;
+        gm.meanLl = ll;
+        if (ll - prev_ll < tol && iter > 1)
+            break;
+        prev_ll = ll;
+    }
+
+    std::sort(gm.comps.begin(), gm.comps.end(),
+              [](const Component &a, const Component &b) {
+                  return a.sigma < b.sigma;
+              });
+    return gm;
+}
+
+double
+GaussianMixture::logPdf(double x) const
+{
+    std::vector<double> log_terms(comps.size());
+    for (std::size_t c = 0; c < comps.size(); ++c)
+        log_terms[c] = std::log(comps[c].weight)
+                       + logNormal(x, comps[c].mean, comps[c].sigma);
+    return logSumExp(log_terms);
+}
+
+double
+MixtureSplit::outlierFraction() const
+{
+    std::size_t total = gValues.size() + outlierValues.size();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(outlierValues.size())
+           / static_cast<double>(total);
+}
+
+MixtureSplit
+splitOutliersMixture(std::span<const float> weights,
+                     std::size_t components, double log_prob_threshold)
+{
+    fatalIf(weights.size() < 2, "splitOutliersMixture needs >= 2 weights");
+    auto gm = GaussianMixture::fit(weights, components);
+
+    MixtureSplit split;
+    split.gValues.reserve(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (gm.logPdf(weights[i]) < log_prob_threshold) {
+            split.outlierPositions.push_back(
+                static_cast<std::uint32_t>(i));
+            split.outlierValues.push_back(weights[i]);
+        } else {
+            split.gValues.push_back(weights[i]);
+        }
+    }
+    return split;
+}
+
+} // namespace gobo

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * One-dimensional Gaussian mixture fitting by EM.
+ *
+ * The paper computes its per-layer fit with
+ * scikit-learn GaussianMixture(n_components=1), which reduces to the
+ * sample mean/std (GaussianFit). This module generalizes to K
+ * components so the outlier-detection design can be ablated: does
+ * modelling the layer as, say, a narrow + a wide Gaussian (which the
+ * hot-channel structure actually produces) move the log-probability
+ * threshold split? bench/ablation_design reports the comparison.
+ */
+
+#ifndef GOBO_CORE_MIXTURE_HH
+#define GOBO_CORE_MIXTURE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gobo {
+
+/** A fitted K-component 1-D Gaussian mixture. */
+class GaussianMixture
+{
+  public:
+    /** One mixture component. */
+    struct Component
+    {
+        double weight = 0.0; ///< Mixing proportion, sums to 1.
+        double mean = 0.0;
+        double sigma = 0.0;
+    };
+
+    /**
+     * Fit by EM.
+     * @param xs samples (at least 2, not all equal).
+     * @param k component count, >= 1. k = 1 reduces to GaussianFit.
+     * @param max_iterations EM iteration bound.
+     * @param tol stop when the mean log-likelihood improves less.
+     */
+    static GaussianMixture fit(std::span<const float> xs, std::size_t k,
+                               std::size_t max_iterations = 200,
+                               double tol = 1e-7);
+
+    /** The fitted components, sorted by ascending sigma. */
+    const std::vector<Component> &components() const { return comps; }
+
+    /** Natural-log mixture density at x (sklearn's score_samples). */
+    double logPdf(double x) const;
+
+    /** Mean log-likelihood of the final EM iteration. */
+    double meanLogLikelihood() const { return meanLl; }
+
+    /** EM iterations used. */
+    std::size_t iterations() const { return iters; }
+
+  private:
+    std::vector<Component> comps;
+    double meanLl = 0.0;
+    std::size_t iters = 0;
+};
+
+/**
+ * Outlier split against a K-component mixture: weights whose mixture
+ * log-density falls below the threshold. With k = 1 this reproduces
+ * splitOutliers exactly.
+ */
+struct MixtureSplit
+{
+    std::vector<float> gValues;
+    std::vector<std::uint32_t> outlierPositions;
+    std::vector<float> outlierValues;
+
+    double outlierFraction() const;
+};
+
+MixtureSplit splitOutliersMixture(std::span<const float> weights,
+                                  std::size_t components,
+                                  double log_prob_threshold = -4.0);
+
+} // namespace gobo
+
+#endif // GOBO_CORE_MIXTURE_HH

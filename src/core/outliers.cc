@@ -1,0 +1,43 @@
+#include "core/outliers.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gobo {
+
+double
+OutlierSplit::outlierFraction() const
+{
+    std::size_t total = gValues.size() + outlierValues.size();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(outlierValues.size())
+           / static_cast<double>(total);
+}
+
+OutlierSplit
+splitOutliers(std::span<const float> weights, double log_prob_threshold)
+{
+    fatalIf(weights.size() < 2, "splitOutliers needs at least two weights");
+
+    GaussianFit fit = GaussianFit::fit(weights);
+    // logPdf(x) < threshold is equivalent to |x - mean| > cut; the
+    // absolute-value form keeps the scan to one comparison per weight.
+    double cut = fit.absoluteCutoff(log_prob_threshold);
+
+    OutlierSplit split{fit, {}, {}, {}};
+    split.gValues.reserve(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (std::abs(static_cast<double>(weights[i]) - fit.mean()) > cut) {
+            split.outlierPositions.push_back(
+                static_cast<std::uint32_t>(i));
+            split.outlierValues.push_back(weights[i]);
+        } else {
+            split.gValues.push_back(weights[i]);
+        }
+    }
+    return split;
+}
+
+} // namespace gobo

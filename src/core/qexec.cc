@@ -1,0 +1,254 @@
+#include "core/qexec.hh"
+
+#include <cmath>
+
+#include "nn/encoder.hh"
+#include "tensor/ops.hh"
+#include "util/bitstream.hh"
+#include "util/logging.hh"
+
+namespace gobo {
+
+QuantizedLinear::QuantizedLinear(QuantizedTensor w, Tensor b)
+    : weights(std::move(w)), bias(std::move(b))
+{
+    weights.check();
+    fatalIf(bias.size() != weights.rows, "QuantizedLinear bias size ",
+            bias.size(), " != out features ", weights.rows);
+
+    // Unpack the index stream once; B <= 8 so a byte per weight.
+    auto idx32 = unpackIndexes(weights.packedIndexes, weights.bits,
+                               weights.elementCount());
+    indexes.reserve(idx32.size());
+    for (auto v : idx32)
+        indexes.push_back(static_cast<std::uint8_t>(v));
+
+    // Group outlier corrections by row. The index slot under an
+    // outlier still contributes its centroid through the bucket sums,
+    // so the correction is the difference, not the raw value.
+    outlierRowStart.assign(weights.rows + 1, 0);
+    outliers.reserve(weights.outlierPositions.size());
+    for (std::size_t o = 0; o < weights.outlierPositions.size(); ++o) {
+        std::uint32_t pos = weights.outlierPositions[o];
+        std::uint32_t row = pos / static_cast<std::uint32_t>(weights.cols);
+        std::uint32_t col = pos % static_cast<std::uint32_t>(weights.cols);
+        float correction = weights.outlierValues[o]
+                           - weights.centroids[indexes[pos]];
+        outliers.push_back({col, correction});
+        ++outlierRowStart[row + 1];
+    }
+    for (std::size_t r = 0; r < weights.rows; ++r)
+        outlierRowStart[r + 1] += outlierRowStart[r];
+}
+
+Tensor
+QuantizedLinear::forward(const Tensor &x) const
+{
+    fatalIf(x.rank() != 2 || x.cols() != weights.cols,
+            "QuantizedLinear input shape mismatch: got ", x.rows(), "x",
+            x.cols(), ", want cols ", weights.cols);
+
+    std::size_t seq = x.rows(), in = weights.cols, out = weights.rows;
+    std::size_t k = weights.centroids.size();
+    Tensor y(seq, out);
+    std::vector<double> bucket(k);
+
+    for (std::size_t s = 0; s < seq; ++s) {
+        const float *xrow = x.row(s).data();
+        float *yrow = y.row(s).data();
+        for (std::size_t o = 0; o < out; ++o) {
+            // Phase 1: additions only — steer activations into the
+            // per-centroid buckets (the accelerator's accumulators).
+            std::fill(bucket.begin(), bucket.end(), 0.0);
+            const std::uint8_t *irow = indexes.data() + o * in;
+            for (std::size_t i = 0; i < in; ++i)
+                bucket[irow[i]] += xrow[i];
+            // Phase 2: one multiply per centroid.
+            double acc = bias(o);
+            for (std::size_t c = 0; c < k; ++c)
+                acc += static_cast<double>(weights.centroids[c])
+                       * bucket[c];
+            // Phase 3: one correction MAC per outlier in this row.
+            for (std::uint32_t oi = outlierRowStart[o];
+                 oi < outlierRowStart[o + 1]; ++oi)
+                acc += static_cast<double>(outliers[oi].correction)
+                       * xrow[outliers[oi].column];
+            yrow[o] = static_cast<float>(acc);
+        }
+    }
+    return y;
+}
+
+OpCounts
+QuantizedLinear::opCounts(std::size_t seq) const
+{
+    OpCounts ops;
+    std::size_t per_out = weights.cols // bucket accumulation
+                          + weights.centroids.size(); // table sums
+    ops.additions = seq * (weights.rows * per_out + outliers.size());
+    ops.multiplications = seq * (weights.rows * weights.centroids.size()
+                                 + outliers.size());
+    return ops;
+}
+
+OpCounts
+QuantizedLinear::denseOpCounts(std::size_t seq) const
+{
+    OpCounts ops;
+    ops.additions = seq * weights.rows * weights.cols;
+    ops.multiplications = seq * weights.rows * weights.cols;
+    return ops;
+}
+
+namespace {
+
+QuantizedLinear
+makeLayer(const Tensor &w, const Tensor &b, FcKind kind,
+          std::size_t encoder, const ModelQuantOptions &options)
+{
+    GoboConfig cfg = options.base;
+    cfg.bits = options.effectiveBits(kind, encoder);
+    return {quantizeTensor(w, cfg), b};
+}
+
+} // namespace
+
+QuantizedBertModel::QuantizedBertModel(const BertModel &model,
+                                       const ModelQuantOptions &options)
+    : cfg(model.config()),
+      wordEmbedding(model.wordEmbedding),
+      positionEmbedding(model.positionEmbedding),
+      embLnGamma(model.embLnGamma),
+      embLnBeta(model.embLnBeta),
+      pooler(makeLayer(model.poolerW, model.poolerB, FcKind::Pooler,
+                       model.config().numLayers, options)),
+      headW(model.headW),
+      headB(model.headB)
+{
+    if (options.embeddingBits > 0) {
+        GoboConfig ecfg = options.base;
+        ecfg.bits = options.embeddingBits;
+        wordEmbedding = quantizeTensor(model.wordEmbedding, ecfg)
+                            .dequantize();
+    }
+    encoders.reserve(model.encoders.size());
+    for (std::size_t e = 0; e < model.encoders.size(); ++e) {
+        const auto &enc = model.encoders[e];
+        encoders.push_back(EncoderLayers{
+            makeLayer(enc.queryW, enc.queryB, FcKind::Query, e, options),
+            makeLayer(enc.keyW, enc.keyB, FcKind::Key, e, options),
+            makeLayer(enc.valueW, enc.valueB, FcKind::Value, e, options),
+            makeLayer(enc.attnOutW, enc.attnOutB, FcKind::AttnOutput, e,
+                      options),
+            makeLayer(enc.interW, enc.interB, FcKind::Intermediate, e,
+                      options),
+            makeLayer(enc.outW, enc.outB, FcKind::Output, e, options),
+            enc.attnLnGamma, enc.attnLnBeta, enc.outLnGamma,
+            enc.outLnBeta});
+    }
+}
+
+Tensor
+QuantizedBertModel::encode(std::span<const std::int32_t> token_ids) const
+{
+    fatalIf(token_ids.empty(), "encode on empty sequence");
+    fatalIf(token_ids.size() > cfg.maxPosition, "sequence length ",
+            token_ids.size(), " exceeds maxPosition ", cfg.maxPosition);
+
+    Tensor x(token_ids.size(), cfg.hidden);
+    for (std::size_t s = 0; s < token_ids.size(); ++s) {
+        auto id = token_ids[s];
+        fatalIf(id < 0 || static_cast<std::size_t>(id) >= cfg.vocabSize,
+                "token id ", id, " out of vocab ", cfg.vocabSize);
+        auto word = wordEmbedding.row(static_cast<std::size_t>(id));
+        auto posv = positionEmbedding.row(s);
+        auto dst = x.row(s);
+        for (std::size_t c = 0; c < dst.size(); ++c)
+            dst[c] = word[c] + posv[c];
+    }
+    layerNormInplace(x, embLnGamma.flat(), embLnBeta.flat());
+
+    for (const auto &enc : encoders) {
+        Tensor q = enc.query.forward(x);
+        Tensor k = enc.key.forward(x);
+        Tensor v = enc.value.forward(x);
+        Tensor ctx = multiHeadAttention(q, k, v, cfg.numHeads);
+        Tensor attn_out = enc.attnOut.forward(ctx);
+        Tensor a = add(x, attn_out);
+        layerNormInplace(a, enc.attnLnGamma.flat(), enc.attnLnBeta.flat());
+
+        Tensor inter = enc.inter.forward(a);
+        geluInplace(inter);
+        Tensor out = enc.out.forward(inter);
+        Tensor y = add(a, out);
+        layerNormInplace(y, enc.outLnGamma.flat(), enc.outLnBeta.flat());
+        x = std::move(y);
+    }
+    return x;
+}
+
+Tensor
+QuantizedBertModel::classify(std::span<const std::int32_t> token_ids) const
+{
+    Tensor hidden = encode(token_ids);
+    Tensor first(1, hidden.cols());
+    auto src = hidden.row(0);
+    std::copy(src.begin(), src.end(), first.row(0).begin());
+    Tensor pooled = pooler.forward(first);
+    tanhInplace(pooled);
+    Tensor logits2d = linear(pooled, headW, headB);
+    Tensor logits(logits2d.cols());
+    auto row = logits2d.row(0);
+    std::copy(row.begin(), row.end(), logits.flat().begin());
+    return logits;
+}
+
+OpCounts
+QuantizedBertModel::opCounts(std::size_t seq) const
+{
+    OpCounts total;
+    for (const auto &enc : encoders) {
+        total += enc.query.opCounts(seq);
+        total += enc.key.opCounts(seq);
+        total += enc.value.opCounts(seq);
+        total += enc.attnOut.opCounts(seq);
+        total += enc.inter.opCounts(seq);
+        total += enc.out.opCounts(seq);
+    }
+    total += pooler.opCounts(1);
+    return total;
+}
+
+OpCounts
+QuantizedBertModel::denseOpCounts(std::size_t seq) const
+{
+    OpCounts total;
+    for (const auto &enc : encoders) {
+        total += enc.query.denseOpCounts(seq);
+        total += enc.key.denseOpCounts(seq);
+        total += enc.value.denseOpCounts(seq);
+        total += enc.attnOut.denseOpCounts(seq);
+        total += enc.inter.denseOpCounts(seq);
+        total += enc.out.denseOpCounts(seq);
+    }
+    total += pooler.denseOpCounts(1);
+    return total;
+}
+
+std::size_t
+QuantizedBertModel::compressedWeightBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &enc : encoders) {
+        bytes += enc.query.compressed().payloadBytes();
+        bytes += enc.key.compressed().payloadBytes();
+        bytes += enc.value.compressed().payloadBytes();
+        bytes += enc.attnOut.compressed().payloadBytes();
+        bytes += enc.inter.compressed().payloadBytes();
+        bytes += enc.out.compressed().payloadBytes();
+    }
+    bytes += pooler.compressed().payloadBytes();
+    return bytes;
+}
+
+} // namespace gobo

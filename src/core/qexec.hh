@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Direct execution from the GOBO format — the compute scheme of the
+ * paper's hardware architecture, in software.
+ *
+ * Because 99.9% of a layer's weights take one of only 2^B values, an
+ * FC output needs almost no multiplications:
+ *
+ *   y_o = sum_i w_oi x_i
+ *       = sum_k c_k * (sum_{i: idx_oi = k} x_i)  +  outlier corrections
+ *
+ * i.e. per output, accumulate the activations into 2^B buckets
+ * (additions only, steered by the 3-bit indexes), then do 2^B
+ * multiplies by the centroid table. Outliers contribute one extra
+ * correction MAC each: (w - c_assigned) * x. The GOBO accelerator
+ * builds exactly this datapath; QuantizedLinear reproduces its
+ * arithmetic (bit-identical outputs up to FP reassociation) and counts
+ * the operations so the multiplier-reduction claim can be measured.
+ */
+
+#ifndef GOBO_CORE_QEXEC_HH
+#define GOBO_CORE_QEXEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quantizer.hh"
+#include "model/model.hh"
+#include "tensor/tensor.hh"
+
+namespace gobo {
+
+/** Operation counts for one forward pass. */
+struct OpCounts
+{
+    std::size_t additions = 0;
+    std::size_t multiplications = 0;
+
+    OpCounts &
+    operator+=(const OpCounts &o)
+    {
+        additions += o.additions;
+        multiplications += o.multiplications;
+        return *this;
+    }
+};
+
+/**
+ * An FC layer executed directly from its compressed representation:
+ * y = x * W^T + bias with W held as (indexes, centroid table,
+ * outliers) — never decoded to FP32.
+ */
+class QuantizedLinear
+{
+  public:
+    /** Take ownership of the compressed weights and FP32 bias. */
+    QuantizedLinear(QuantizedTensor weights, Tensor bias);
+
+    /** Forward pass via per-centroid accumulation. x is [seq, in]. */
+    Tensor forward(const Tensor &x) const;
+
+    /** Operations a forward pass at this sequence length performs. */
+    OpCounts opCounts(std::size_t seq) const;
+
+    /** Operations the FP32 dense equivalent performs. */
+    OpCounts denseOpCounts(std::size_t seq) const;
+
+    /** Output features. */
+    std::size_t outFeatures() const { return weights.rows; }
+
+    /** Input features. */
+    std::size_t inFeatures() const { return weights.cols; }
+
+    /** The compressed weights (for storage accounting). */
+    const QuantizedTensor &compressed() const { return weights; }
+
+  private:
+    QuantizedTensor weights;
+    Tensor bias;
+    /** Unpacked per-weight centroid indexes, row-major. */
+    std::vector<std::uint8_t> indexes;
+    /** One (column, correction) pair per outlier, grouped by row. */
+    struct OutlierRef
+    {
+        std::uint32_t column;
+        float correction; ///< w_outlier - centroid[index at that slot].
+    };
+    std::vector<OutlierRef> outliers;
+    std::vector<std::uint32_t> outlierRowStart; ///< rows+1 offsets.
+};
+
+/**
+ * A whole model executing its FC layers from the compressed format.
+ * Embeddings/biases/norms stay FP32 (as in the paper); the forward
+ * pass mirrors nn/encoder exactly, so predictions match a decoded
+ * model up to FP reassociation.
+ */
+class QuantizedBertModel
+{
+  public:
+    /**
+     * Quantize `model` per `options` into an executable form. The
+     * source model is not modified.
+     */
+    QuantizedBertModel(const BertModel &model,
+                       const ModelQuantOptions &options);
+
+    /** Full encoder stack; mirrors gobo::encodeSequence. */
+    Tensor encode(std::span<const std::int32_t> token_ids) const;
+
+    /** Pooler + head logits; mirrors pool() + headLogits(). */
+    Tensor classify(std::span<const std::int32_t> token_ids) const;
+
+    /** Total operations for one sequence. */
+    OpCounts opCounts(std::size_t seq) const;
+
+    /** Dense-FP32 operations for the same sequence. */
+    OpCounts denseOpCounts(std::size_t seq) const;
+
+    /** Compressed bytes of all FC weights. */
+    std::size_t compressedWeightBytes() const;
+
+    const ModelConfig &config() const { return cfg; }
+
+  private:
+    struct EncoderLayers
+    {
+        QuantizedLinear query, key, value, attnOut, inter, out;
+        Tensor attnLnGamma, attnLnBeta, outLnGamma, outLnBeta;
+    };
+
+    ModelConfig cfg;
+    Tensor wordEmbedding, positionEmbedding, embLnGamma, embLnBeta;
+    std::vector<EncoderLayers> encoders;
+    QuantizedLinear pooler;
+    Tensor headW, headB;
+};
+
+} // namespace gobo
+
+#endif // GOBO_CORE_QEXEC_HH

@@ -1,0 +1,173 @@
+#include "core/qtensor.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "util/bitstream.hh"
+#include "util/logging.hh"
+
+namespace gobo {
+
+namespace {
+
+constexpr std::uint32_t qtMagic = 0x474f4251; // "GOBQ"
+constexpr std::uint32_t qtVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    fatalIf(!is, "quantized tensor stream truncated");
+    return v;
+}
+
+template <typename T>
+void
+writeVec(std::ostream &os, const std::vector<T> &v)
+{
+    writePod<std::uint64_t>(os, v.size());
+    os.write(reinterpret_cast<const char *>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T>
+readVec(std::istream &is, std::size_t limit)
+{
+    auto n = static_cast<std::size_t>(readPod<std::uint64_t>(is));
+    fatalIf(n > limit, "quantized tensor vector length ", n,
+            " exceeds plausible limit ", limit);
+    std::vector<T> v(n);
+    is.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    fatalIf(!is && n > 0, "quantized tensor stream truncated");
+    return v;
+}
+
+} // namespace
+
+void
+QuantizedTensor::check() const
+{
+    fatalIf(bits == 0 || bits > 8, "QuantizedTensor bits out of range: ",
+            bits);
+    fatalIf(centroids.empty(), "QuantizedTensor has no centroids");
+    fatalIf(centroids.size() > (std::size_t{1} << bits),
+            "QuantizedTensor has ", centroids.size(),
+            " centroids but only ", bits, "-bit indexes");
+    fatalIf(!std::is_sorted(centroids.begin(), centroids.end()),
+            "QuantizedTensor centroids not ascending");
+    fatalIf(packedIndexes.size() != (elementCount() * bits + 7) / 8,
+            "QuantizedTensor packed payload size mismatch");
+    fatalIf(outlierPositions.size() != outlierValues.size(),
+            "QuantizedTensor outlier position/value count mismatch");
+    fatalIf(!std::is_sorted(outlierPositions.begin(),
+                            outlierPositions.end()),
+            "QuantizedTensor outlier positions not ascending");
+    fatalIf(!outlierPositions.empty()
+                && outlierPositions.back() >= elementCount(),
+            "QuantizedTensor outlier position out of range");
+}
+
+Tensor
+QuantizedTensor::dequantize() const
+{
+    check();
+    Tensor t(rows, cols);
+    auto flat = t.flat();
+    BitReader reader(packedIndexes.data(), elementCount() * bits);
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+        std::uint32_t idx = reader.get(bits);
+        fatalIf(idx >= centroids.size(), "index ", idx,
+                " out of centroid table of ", centroids.size());
+        flat[i] = centroids[idx];
+    }
+    for (std::size_t o = 0; o < outlierPositions.size(); ++o)
+        flat[outlierPositions[o]] = outlierValues[o];
+    return t;
+}
+
+std::size_t
+QuantizedTensor::payloadBits() const
+{
+    return elementCount() * bits + centroids.size() * 32
+           + outlierPositions.size() * (32 + 32);
+}
+
+std::size_t
+QuantizedTensor::payloadBytes() const
+{
+    return (payloadBits() + 7) / 8;
+}
+
+std::size_t
+QuantizedTensor::originalBytes() const
+{
+    return elementCount() * sizeof(float);
+}
+
+double
+QuantizedTensor::compressionRatio() const
+{
+    return static_cast<double>(originalBytes())
+           / static_cast<double>(payloadBytes());
+}
+
+double
+QuantizedTensor::outlierFraction() const
+{
+    if (elementCount() == 0)
+        return 0.0;
+    return static_cast<double>(outlierPositions.size())
+           / static_cast<double>(elementCount());
+}
+
+void
+QuantizedTensor::save(std::ostream &os) const
+{
+    check();
+    writePod(os, qtMagic);
+    writePod(os, qtVersion);
+    writePod<std::uint32_t>(os, bits);
+    writePod<std::uint64_t>(os, rows);
+    writePod<std::uint64_t>(os, cols);
+    writeVec(os, centroids);
+    writeVec(os, packedIndexes);
+    writeVec(os, outlierPositions);
+    writeVec(os, outlierValues);
+}
+
+QuantizedTensor
+QuantizedTensor::load(std::istream &is)
+{
+    fatalIf(readPod<std::uint32_t>(is) != qtMagic,
+            "bad quantized tensor magic");
+    auto version = readPod<std::uint32_t>(is);
+    fatalIf(version != qtVersion, "unsupported quantized tensor version ",
+            version);
+
+    QuantizedTensor q;
+    q.bits = readPod<std::uint32_t>(is);
+    fatalIf(q.bits == 0 || q.bits > 8, "bits field corrupt: ", q.bits);
+    q.rows = static_cast<std::size_t>(readPod<std::uint64_t>(is));
+    q.cols = static_cast<std::size_t>(readPod<std::uint64_t>(is));
+    std::size_t n = q.rows * q.cols;
+    q.centroids = readVec<float>(is, std::size_t{1} << q.bits);
+    q.packedIndexes = readVec<std::uint8_t>(is, n * q.bits / 8 + 8);
+    q.outlierPositions = readVec<std::uint32_t>(is, n);
+    q.outlierValues = readVec<float>(is, n);
+    q.check();
+    return q;
+}
+
+} // namespace gobo

@@ -1,0 +1,65 @@
+#include "memsim/memsim.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gobo {
+
+InferenceCost
+inferenceCost(const ModelConfig &config, std::size_t sequence_length,
+              double weight_compression, double embedding_compression)
+{
+    fatalIf(sequence_length == 0, "inferenceCost needs a sequence");
+    fatalIf(weight_compression < 1.0 || embedding_compression < 1.0,
+            "compression ratios must be >= 1");
+
+    InferenceCost cost;
+    auto weights_fp32 = static_cast<double>(config.fcWeightParams()
+                                            * sizeof(float));
+    cost.weightBytes = static_cast<std::size_t>(weights_fp32
+                                                / weight_compression);
+    auto emb_row_fp32 = static_cast<double>(config.hidden * sizeof(float));
+    cost.embeddingBytes = static_cast<std::size_t>(
+        static_cast<double>(sequence_length) * emb_row_fp32
+        / embedding_compression);
+
+    // Per token: 4 [h,h] attention FCs, the FFN pair, the pooler once.
+    double s = static_cast<double>(sequence_length);
+    double h = static_cast<double>(config.hidden);
+    double inter = static_cast<double>(config.intermediate);
+    double layers = static_cast<double>(config.numLayers);
+    double fc_macs = layers * s * (4.0 * h * h + 2.0 * h * inter)
+                     + h * h;
+    // Attention score/context products: 2 * s^2 * h per layer.
+    double attn_macs = layers * 2.0 * s * s * h;
+    cost.macs = fc_macs + attn_macs;
+
+    // Activations stay on chip: one read + one write of each hidden
+    // state per FC, approximated as 8 hidden-state passes per layer.
+    cost.activationBytes = static_cast<std::size_t>(
+        layers * 8.0 * s * h * sizeof(float));
+    return cost;
+}
+
+MemReport
+estimate(const InferenceCost &cost, const MemParams &params)
+{
+    MemReport r;
+    double off_bits = static_cast<double>(cost.offChipBytes()) * 8.0;
+    double on_bits = static_cast<double>(cost.activationBytes) * 8.0;
+    r.offChipEnergyMicroJ = off_bits * params.dramPjPerBit * 1e-6;
+    r.onChipEnergyMicroJ = on_bits * params.onChipPjPerBit * 1e-6;
+    r.computeEnergyMicroJ = cost.macs * params.pjPerMac * 1e-6;
+    r.totalEnergyMicroJ = r.offChipEnergyMicroJ + r.onChipEnergyMicroJ
+                          + r.computeEnergyMicroJ;
+
+    r.memoryLatencyMs = static_cast<double>(cost.offChipBytes())
+                        / (params.dramGBps * 1e9) * 1e3;
+    r.computeLatencyMs = cost.macs / params.macsPerSecond * 1e3;
+    r.latencyMs = std::max(r.memoryLatencyMs, r.computeLatencyMs);
+    r.memoryBound = r.memoryLatencyMs >= r.computeLatencyMs;
+    return r;
+}
+
+} // namespace gobo

@@ -1,0 +1,31 @@
+#include "model/footprint.hh"
+
+namespace gobo {
+
+Footprint
+footprint(const ModelConfig &config, std::size_t sequence_length)
+{
+    Footprint f;
+    f.embeddingBytes = config.wordEmbeddingParams() * sizeof(float);
+    f.weightBytes = config.fcWeightParams() * sizeof(float);
+    f.inputPerWordBytes = config.hidden * sizeof(float);
+    f.largestActPerWordBytes = config.intermediate * sizeof(float);
+    f.sequenceLength = sequence_length;
+    f.activationBytes = sequence_length * config.intermediate
+                        * sizeof(float);
+    return f;
+}
+
+double
+toMiB(std::size_t bytes)
+{
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+double
+toKiB(std::size_t bytes)
+{
+    return static_cast<double>(bytes) / 1024.0;
+}
+
+} // namespace gobo

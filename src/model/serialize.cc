@@ -1,0 +1,174 @@
+#include "model/serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace gobo {
+
+namespace {
+
+constexpr std::uint32_t modelMagic = 0x474f424d; // "GOBM"
+constexpr std::uint32_t modelVersion = 1;
+
+void
+writeU64(std::ostream &os, std::uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeU32(std::ostream &os, std::uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+std::uint64_t
+readU64(std::istream &is)
+{
+    std::uint64_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    fatalIf(!is, "model stream truncated reading u64");
+    return v;
+}
+
+std::uint32_t
+readU32(std::istream &is)
+{
+    std::uint32_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    fatalIf(!is, "model stream truncated reading u32");
+    return v;
+}
+
+template <typename Model, typename Fn>
+void
+forEachTensor(Model &m, Fn fn)
+{
+    fn(m.wordEmbedding);
+    fn(m.positionEmbedding);
+    fn(m.embLnGamma);
+    fn(m.embLnBeta);
+    for (auto &enc : m.encoders) {
+        fn(enc.queryW); fn(enc.queryB);
+        fn(enc.keyW); fn(enc.keyB);
+        fn(enc.valueW); fn(enc.valueB);
+        fn(enc.attnOutW); fn(enc.attnOutB);
+        fn(enc.attnLnGamma); fn(enc.attnLnBeta);
+        fn(enc.interW); fn(enc.interB);
+        fn(enc.outW); fn(enc.outB);
+        fn(enc.outLnGamma); fn(enc.outLnBeta);
+    }
+    fn(m.poolerW); fn(m.poolerB);
+    fn(m.headW); fn(m.headB);
+}
+
+} // namespace
+
+void
+writeTensor(std::ostream &os, const Tensor &t)
+{
+    writeU32(os, static_cast<std::uint32_t>(t.rank()));
+    for (std::size_t d = 0; d < t.rank(); ++d)
+        writeU64(os, t.dim(d));
+    auto flat = t.flat();
+    os.write(reinterpret_cast<const char *>(flat.data()),
+             static_cast<std::streamsize>(flat.size() * sizeof(float)));
+}
+
+Tensor
+readTensor(std::istream &is)
+{
+    std::uint32_t rank = readU32(is);
+    fatalIf(rank > 2, "tensor rank ", rank, " unsupported");
+    Tensor t;
+    if (rank == 1) {
+        t = Tensor(static_cast<std::size_t>(readU64(is)));
+    } else if (rank == 2) {
+        std::size_t r = static_cast<std::size_t>(readU64(is));
+        std::size_t c = static_cast<std::size_t>(readU64(is));
+        t = Tensor(r, c);
+    }
+    auto flat = t.flat();
+    is.read(reinterpret_cast<char *>(flat.data()),
+            static_cast<std::streamsize>(flat.size() * sizeof(float)));
+    fatalIf(!is && flat.size() > 0, "model stream truncated reading tensor");
+    return t;
+}
+
+void
+saveModel(std::ostream &os, const BertModel &model)
+{
+    const auto &c = model.config();
+    writeU32(os, modelMagic);
+    writeU32(os, modelVersion);
+    writeU32(os, static_cast<std::uint32_t>(c.family));
+    writeU64(os, c.numLayers);
+    writeU64(os, c.hidden);
+    writeU64(os, c.intermediate);
+    writeU64(os, c.numHeads);
+    writeU64(os, c.vocabSize);
+    writeU64(os, c.maxPosition);
+    writeU64(os, c.name.size());
+    os.write(c.name.data(), static_cast<std::streamsize>(c.name.size()));
+    writeU64(os, model.headW.rows());
+
+    forEachTensor(model, [&](const Tensor &t) { writeTensor(os, t); });
+}
+
+void
+saveModel(const std::string &path, const BertModel &model)
+{
+    std::ofstream os(path, std::ios::binary);
+    fatalIf(!os, "cannot open ", path, " for writing");
+    saveModel(os, model);
+    fatalIf(!os, "write to ", path, " failed");
+}
+
+BertModel
+loadModel(std::istream &is)
+{
+    fatalIf(readU32(is) != modelMagic, "bad model magic");
+    std::uint32_t version = readU32(is);
+    fatalIf(version != modelVersion, "unsupported model version ",
+            version);
+
+    ModelConfig c;
+    c.family = static_cast<ModelFamily>(readU32(is));
+    c.numLayers = static_cast<std::size_t>(readU64(is));
+    c.hidden = static_cast<std::size_t>(readU64(is));
+    c.intermediate = static_cast<std::size_t>(readU64(is));
+    c.numHeads = static_cast<std::size_t>(readU64(is));
+    c.vocabSize = static_cast<std::size_t>(readU64(is));
+    c.maxPosition = static_cast<std::size_t>(readU64(is));
+    std::size_t name_len = static_cast<std::size_t>(readU64(is));
+    fatalIf(name_len > 4096, "model name length ", name_len,
+            " implausible");
+    c.name.resize(name_len);
+    is.read(c.name.data(), static_cast<std::streamsize>(name_len));
+    fatalIf(!is, "model stream truncated reading name");
+    std::size_t head_outputs = static_cast<std::size_t>(readU64(is));
+
+    BertModel m(c);
+    m.resizeHead(head_outputs);
+    forEachTensor(m, [&](Tensor &t) {
+        Tensor loaded = readTensor(is);
+        fatalIf(loaded.rank() != t.rank() || loaded.size() != t.size(),
+                "tensor shape mismatch while loading model");
+        t = std::move(loaded);
+    });
+    return m;
+}
+
+BertModel
+loadModel(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatalIf(!is, "cannot open ", path, " for reading");
+    return loadModel(is);
+}
+
+} // namespace gobo

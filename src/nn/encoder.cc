@@ -1,0 +1,138 @@
+#include "nn/encoder.hh"
+
+#include <cmath>
+
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace gobo {
+
+Tensor
+embedTokens(const BertModel &model, std::span<const std::int32_t> token_ids)
+{
+    const auto &cfg = model.config();
+    fatalIf(token_ids.empty(), "embedTokens on empty sequence");
+    fatalIf(token_ids.size() > cfg.maxPosition, "sequence length ",
+            token_ids.size(), " exceeds maxPosition ", cfg.maxPosition);
+
+    Tensor x(token_ids.size(), cfg.hidden);
+    for (std::size_t s = 0; s < token_ids.size(); ++s) {
+        auto id = token_ids[s];
+        fatalIf(id < 0 || static_cast<std::size_t>(id) >= cfg.vocabSize,
+                "token id ", id, " out of vocab ", cfg.vocabSize);
+        auto word = model.wordEmbedding.row(static_cast<std::size_t>(id));
+        auto posv = model.positionEmbedding.row(s);
+        auto dst = x.row(s);
+        for (std::size_t c = 0; c < dst.size(); ++c)
+            dst[c] = word[c] + posv[c];
+    }
+    layerNormInplace(x, model.embLnGamma.flat(), model.embLnBeta.flat());
+    return x;
+}
+
+Tensor
+multiHeadAttention(const Tensor &q, const Tensor &k, const Tensor &v,
+                   std::size_t num_heads)
+{
+    std::size_t seq = q.rows(), h = q.cols();
+    panicIf(h % num_heads != 0, "hidden not divisible by heads");
+    std::size_t dh = h / num_heads;
+    float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    Tensor ctx(seq, h);
+    Tensor scores(seq, seq);
+    for (std::size_t head = 0; head < num_heads; ++head) {
+        std::size_t off = head * dh;
+        for (std::size_t i = 0; i < seq; ++i) {
+            const float *qi = q.row(i).data() + off;
+            float *srow = scores.row(i).data();
+            for (std::size_t j = 0; j < seq; ++j) {
+                const float *kj = k.row(j).data() + off;
+                float acc = 0.0f;
+                for (std::size_t d = 0; d < dh; ++d)
+                    acc += qi[d] * kj[d];
+                srow[j] = acc * scale;
+            }
+        }
+        softmaxRows(scores);
+        for (std::size_t i = 0; i < seq; ++i) {
+            const float *srow = scores.row(i).data();
+            float *crow = ctx.row(i).data() + off;
+            for (std::size_t j = 0; j < seq; ++j) {
+                float s = srow[j];
+                const float *vj = v.row(j).data() + off;
+                for (std::size_t d = 0; d < dh; ++d)
+                    crow[d] += s * vj[d];
+            }
+        }
+    }
+    return ctx;
+}
+
+Tensor
+encoderForward(const EncoderWeights &enc, const Tensor &hidden,
+               std::size_t num_heads)
+{
+    // Attention component.
+    Tensor q = linear(hidden, enc.queryW, enc.queryB);
+    Tensor k = linear(hidden, enc.keyW, enc.keyB);
+    Tensor v = linear(hidden, enc.valueW, enc.valueB);
+    Tensor ctx = multiHeadAttention(q, k, v, num_heads);
+    Tensor attn_out = linear(ctx, enc.attnOutW, enc.attnOutB);
+    Tensor x = add(hidden, attn_out);
+    layerNormInplace(x, enc.attnLnGamma.flat(), enc.attnLnBeta.flat());
+
+    // Intermediate component.
+    Tensor inter = linear(x, enc.interW, enc.interB);
+    geluInplace(inter);
+
+    // Output component.
+    Tensor out = linear(inter, enc.outW, enc.outB);
+    Tensor y = add(x, out);
+    layerNormInplace(y, enc.outLnGamma.flat(), enc.outLnBeta.flat());
+    return y;
+}
+
+Tensor
+encodeSequence(const BertModel &model,
+               std::span<const std::int32_t> token_ids)
+{
+    Tensor x = embedTokens(model, token_ids);
+    for (const auto &enc : model.encoders)
+        x = encoderForward(enc, x, model.config().numHeads);
+    return x;
+}
+
+Tensor
+pool(const BertModel &model, const Tensor &hidden)
+{
+    fatalIf(hidden.rows() == 0, "pool on empty hidden state");
+    Tensor first(1, hidden.cols());
+    auto src = hidden.row(0);
+    auto dst = first.row(0);
+    std::copy(src.begin(), src.end(), dst.begin());
+    Tensor pooled = linear(first, model.poolerW, model.poolerB);
+    tanhInplace(pooled);
+    return pooled;
+}
+
+Tensor
+headLogits(const BertModel &model, const Tensor &pooled)
+{
+    Tensor logits2d = linear(pooled, model.headW, model.headB);
+    Tensor logits(logits2d.cols());
+    auto src = logits2d.row(0);
+    std::copy(src.begin(), src.end(), logits.flat().begin());
+    return logits;
+}
+
+Tensor
+spanLogits(const BertModel &model, const Tensor &hidden)
+{
+    fatalIf(model.headW.rows() != 2,
+            "span head needs a [2, hidden] headW, got ",
+            model.headW.rows(), " rows");
+    return linear(hidden, model.headW, model.headB);
+}
+
+} // namespace gobo

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Forward-only transformer encoder (the BERT execution engine).
+ *
+ * Implements Fig. 1a of the paper: per encoder, an Attention component
+ * (query/key/value projections, scaled dot-product multi-head
+ * attention, output projection, residual + layer norm), an Intermediate
+ * component (FFN up-projection with GELU) and an Output component
+ * (down-projection, residual + layer norm); an embedding front end and
+ * the Pooler after the last encoder. Everything consumes plain FP32
+ * tensors, which is what makes decoded GOBO models plug-in compatible.
+ */
+
+#ifndef GOBO_NN_ENCODER_HH
+#define GOBO_NN_ENCODER_HH
+
+#include <cstdint>
+#include <span>
+
+#include "model/model.hh"
+#include "tensor/tensor.hh"
+
+namespace gobo {
+
+/**
+ * Embedding front end: word embedding + position embedding, then the
+ * embedding layer norm. Token ids must be < vocabSize and the sequence
+ * no longer than maxPosition.
+ */
+Tensor embedTokens(const BertModel &model,
+                   std::span<const std::int32_t> token_ids);
+
+/**
+ * Multi-head scaled dot-product attention over pre-projected Q, K, V
+ * ([seq, h] each); heads are contiguous column slices of width
+ * h / num_heads. Exposed so alternative execution engines (e.g. the
+ * compressed-domain QuantizedBertModel) can share the exact attention
+ * arithmetic.
+ */
+Tensor multiHeadAttention(const Tensor &q, const Tensor &k,
+                          const Tensor &v, std::size_t num_heads);
+
+/**
+ * One encoder layer: multi-head self-attention and FFN with residuals
+ * and layer norms, as in Fig. 1a.
+ */
+Tensor encoderForward(const EncoderWeights &enc, const Tensor &hidden,
+                      std::size_t num_heads);
+
+/** Run the embedding front end and the whole encoder stack. */
+Tensor encodeSequence(const BertModel &model,
+                      std::span<const std::int32_t> token_ids);
+
+/** The BERT pooler: first token through a Linear + tanh. Returns [1,h]. */
+Tensor pool(const BertModel &model, const Tensor &hidden);
+
+/** Task-head logits over the pooled vector. Returns [outputs]. */
+Tensor headLogits(const BertModel &model, const Tensor &pooled);
+
+/**
+ * Span-extraction logits (SQuAD-like head): per-token start and end
+ * scores. headW must be [2, hidden]; returns [seq, 2].
+ */
+Tensor spanLogits(const BertModel &model, const Tensor &hidden);
+
+} // namespace gobo
+
+#endif // GOBO_NN_ENCODER_HH

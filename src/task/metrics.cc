@@ -1,0 +1,41 @@
+#include "task/metrics.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gobo {
+
+double
+spanF1(std::size_t pred_start, std::size_t pred_end,
+       std::size_t gold_start, std::size_t gold_end)
+{
+    fatalIf(pred_end < pred_start || gold_end < gold_start,
+            "spanF1 spans must have end >= start");
+    std::size_t lo = std::max(pred_start, gold_start);
+    std::size_t hi = std::min(pred_end, gold_end);
+    if (hi < lo)
+        return 0.0;
+    double overlap = static_cast<double>(hi - lo + 1);
+    double pred_len = static_cast<double>(pred_end - pred_start + 1);
+    double gold_len = static_cast<double>(gold_end - gold_start + 1);
+    double precision = overlap / pred_len;
+    double recall = overlap / gold_len;
+    return 2.0 * precision * recall / (precision + recall);
+}
+
+double
+accuracy(std::span<const int> predictions, std::span<const int> labels)
+{
+    fatalIf(predictions.size() != labels.size(),
+            "accuracy size mismatch: ", predictions.size(), " vs ",
+            labels.size());
+    fatalIf(predictions.empty(), "accuracy of empty prediction set");
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < predictions.size(); ++i)
+        hits += predictions[i] == labels[i] ? 1 : 0;
+    return static_cast<double>(hits)
+           / static_cast<double>(predictions.size());
+}
+
+} // namespace gobo

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Task metrics: classification accuracy, Spearman correlation (STS-B),
+ * and token-overlap span F1 (SQuAD v1.1).
+ */
+
+#ifndef GOBO_TASK_METRICS_HH
+#define GOBO_TASK_METRICS_HH
+
+#include <cstddef>
+#include <span>
+
+namespace gobo {
+
+/**
+ * SQuAD-style token-overlap F1 between a predicted span and a gold
+ * span, both inclusive [start, end] over token positions.
+ */
+double spanF1(std::size_t pred_start, std::size_t pred_end,
+              std::size_t gold_start, std::size_t gold_end);
+
+/** Fraction of positions where the two label sequences agree. */
+double accuracy(std::span<const int> predictions,
+                std::span<const int> labels);
+
+} // namespace gobo
+
+#endif // GOBO_TASK_METRICS_HH

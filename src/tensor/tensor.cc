@@ -1,0 +1,46 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gobo {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : dims{rows, cols}, store(std::move(data))
+{
+    fatalIf(store.size() != rows * cols, "Tensor data size ", store.size(),
+            " != ", rows, "x", cols);
+}
+
+std::size_t
+Tensor::dim(std::size_t d) const
+{
+    fatalIf(d >= dims.size(), "Tensor dim ", d, " out of rank ",
+            dims.size());
+    return dims[d];
+}
+
+std::span<float>
+Tensor::row(std::size_t r)
+{
+    fatalIf(rank() != 2, "Tensor::row on rank-", rank(), " tensor");
+    fatalIf(r >= dims[0], "Tensor row ", r, " out of ", dims[0]);
+    return {store.data() + r * dims[1], dims[1]};
+}
+
+std::span<const float>
+Tensor::row(std::size_t r) const
+{
+    fatalIf(rank() != 2, "Tensor::row on rank-", rank(), " tensor");
+    fatalIf(r >= dims[0], "Tensor row ", r, " out of ", dims[0]);
+    return {store.data() + r * dims[1], dims[1]};
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(store.begin(), store.end(), v);
+}
+
+} // namespace gobo

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Minimal dense FP32 tensor used by the transformer inference engine.
+ *
+ * The engine only needs 1-D and 2-D row-major tensors (hidden states are
+ * [seq, hidden] matrices; weights are [out, in] matrices following the
+ * Hugging Face Linear convention the paper's models use). Tensor owns its
+ * storage; views are expressed with std::span over rows.
+ */
+
+#ifndef GOBO_TENSOR_TENSOR_HH
+#define GOBO_TENSOR_TENSOR_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace gobo {
+
+/** Dense row-major FP32 tensor of rank 1 or 2. */
+class Tensor
+{
+  public:
+    /** Empty tensor (rank 0, no elements). */
+    Tensor() = default;
+
+    /** 1-D tensor of n zeros. */
+    explicit Tensor(std::size_t n) : dims{n}, store(n, 0.0f) {}
+
+    /** 2-D tensor of rows x cols zeros. */
+    Tensor(std::size_t rows, std::size_t cols)
+        : dims{rows, cols}, store(rows * cols, 0.0f)
+    {
+    }
+
+    /** 2-D tensor adopting existing data (size must be rows*cols). */
+    Tensor(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+    /** Tensor rank: 0 (empty), 1, or 2. */
+    std::size_t rank() const { return dims.size(); }
+
+    /** Total number of elements. */
+    std::size_t size() const { return store.size(); }
+
+    /** Extent of dimension d. */
+    std::size_t dim(std::size_t d) const;
+
+    /** Rows for rank-2, size for rank-1. */
+    std::size_t rows() const { return rank() == 2 ? dims[0] : size(); }
+
+    /** Columns for rank-2, 1 for rank-1. */
+    std::size_t cols() const { return rank() == 2 ? dims[1] : 1; }
+
+    /** Element access, rank-1. */
+    float &operator()(std::size_t i) { return store[i]; }
+    float operator()(std::size_t i) const { return store[i]; }
+
+    /** Element access, rank-2. */
+    float &
+    operator()(std::size_t r, std::size_t c)
+    {
+        return store[r * dims[1] + c];
+    }
+    float
+    operator()(std::size_t r, std::size_t c) const
+    {
+        return store[r * dims[1] + c];
+    }
+
+    /** Row r as a span (rank-2 only). */
+    std::span<float> row(std::size_t r);
+    std::span<const float> row(std::size_t r) const;
+
+    /** Flat view of all elements. */
+    std::span<float> flat() { return store; }
+    std::span<const float> flat() const { return store; }
+
+    /** Mutable access to the backing vector (for codecs). */
+    std::vector<float> &data() { return store; }
+    const std::vector<float> &data() const { return store; }
+
+    /** Set every element to v. */
+    void fill(float v);
+
+  private:
+    std::vector<std::size_t> dims;
+    std::vector<float> store;
+};
+
+} // namespace gobo
+
+#endif // GOBO_TENSOR_TENSOR_HH

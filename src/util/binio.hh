@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Small binary stream helpers shared by the serialization code
+ * (models, quantized tensors, compressed containers). Little-endian
+ * host layout; all readers fail fatally on truncation so corrupt files
+ * surface immediately instead of as garbage tensors.
+ */
+
+#ifndef GOBO_UTIL_BINIO_HH
+#define GOBO_UTIL_BINIO_HH
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace gobo {
+
+/** Write one trivially-copyable value. */
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+/** Read one trivially-copyable value; fatal on truncation. */
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    fatalIf(!is, "binary stream truncated");
+    return v;
+}
+
+/** Write a length-prefixed vector of trivially-copyable elements. */
+template <typename T>
+void
+writeVec(std::ostream &os, const std::vector<T> &v)
+{
+    writePod<std::uint64_t>(os, v.size());
+    os.write(reinterpret_cast<const char *>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+/**
+ * Read a length-prefixed vector, rejecting lengths above `limit` so a
+ * corrupt header cannot trigger a huge allocation.
+ */
+template <typename T>
+std::vector<T>
+readVec(std::istream &is, std::size_t limit)
+{
+    auto n = static_cast<std::size_t>(readPod<std::uint64_t>(is));
+    fatalIf(n > limit, "binary stream vector length ", n,
+            " exceeds plausible limit ", limit);
+    std::vector<T> v(n);
+    is.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    fatalIf(!is && n > 0, "binary stream truncated");
+    return v;
+}
+
+/** Write a length-prefixed string. */
+inline void
+writeString(std::ostream &os, const std::string &s)
+{
+    writePod<std::uint64_t>(os, s.size());
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+/** Read a length-prefixed string with a sanity limit. */
+inline std::string
+readString(std::istream &is, std::size_t limit = 4096)
+{
+    auto n = static_cast<std::size_t>(readPod<std::uint64_t>(is));
+    fatalIf(n > limit, "binary stream string length ", n,
+            " exceeds plausible limit ", limit);
+    std::string s(n, '\0');
+    is.read(s.data(), static_cast<std::streamsize>(n));
+    fatalIf(!is && n > 0, "binary stream truncated");
+    return s;
+}
+
+} // namespace gobo
+
+#endif // GOBO_UTIL_BINIO_HH

@@ -1,0 +1,82 @@
+#include "util/bitstream.hh"
+
+#include "util/logging.hh"
+
+namespace gobo {
+
+void
+BitWriter::put(std::uint32_t value, unsigned bits)
+{
+    fatalIf(bits == 0 || bits > 32, "BitWriter width out of range: ", bits);
+    if (bits < 32)
+        panicIf(value >> bits, "BitWriter value ", value,
+                " wider than ", bits, " bits");
+
+    unsigned written = 0;
+    while (written < bits) {
+        std::size_t byte = nBits / 8;
+        unsigned bit_in_byte = nBits % 8;
+        if (byte >= buf.size())
+            buf.push_back(0);
+        unsigned room = 8 - bit_in_byte;
+        unsigned chunk = std::min(room, bits - written);
+        auto piece = static_cast<std::uint8_t>(
+            (value >> written) & ((1u << chunk) - 1u));
+        buf[byte] |= static_cast<std::uint8_t>(piece << bit_in_byte);
+        nBits += chunk;
+        written += chunk;
+    }
+}
+
+std::vector<std::uint8_t>
+BitWriter::take()
+{
+    nBits = 0;
+    return std::move(buf);
+}
+
+std::uint32_t
+BitReader::get(unsigned bits)
+{
+    fatalIf(bits == 0 || bits > 32, "BitReader width out of range: ", bits);
+    fatalIf(pos + bits > nBits, "BitReader exhausted: need ", bits,
+            " bits, have ", nBits - pos);
+
+    std::uint32_t value = 0;
+    unsigned read = 0;
+    while (read < bits) {
+        std::size_t byte = pos / 8;
+        unsigned bit_in_byte = pos % 8;
+        unsigned room = 8 - bit_in_byte;
+        unsigned chunk = std::min(room, bits - read);
+        std::uint32_t piece = (buf[byte] >> bit_in_byte)
+                              & ((1u << chunk) - 1u);
+        value |= piece << read;
+        pos += chunk;
+        read += chunk;
+    }
+    return value;
+}
+
+std::vector<std::uint8_t>
+packIndexes(const std::vector<std::uint32_t> &idx, unsigned bits)
+{
+    BitWriter w;
+    for (auto v : idx)
+        w.put(v, bits);
+    return w.take();
+}
+
+std::vector<std::uint32_t>
+unpackIndexes(const std::vector<std::uint8_t> &bytes, unsigned bits,
+              std::size_t count)
+{
+    BitReader r(bytes.data(), bytes.size() * 8);
+    std::vector<std::uint32_t> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(r.get(bits));
+    return out;
+}
+
+} // namespace gobo

@@ -1,0 +1,241 @@
+#include "util/huffman.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace gobo {
+
+namespace {
+
+/** Compute code lengths by the classic heap-based Huffman build. */
+std::vector<unsigned>
+huffmanLengths(std::span<const std::size_t> counts)
+{
+    struct Node
+    {
+        std::size_t weight;
+        int left = -1, right = -1;   ///< Children, -1 for leaves.
+        std::uint32_t symbol = 0;
+    };
+    std::vector<Node> nodes;
+    using Entry = std::pair<std::size_t, int>; // (weight, node index)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+    for (std::uint32_t s = 0; s < counts.size(); ++s) {
+        if (counts[s] == 0)
+            continue;
+        nodes.push_back({counts[s], -1, -1, s});
+        heap.emplace(counts[s], static_cast<int>(nodes.size()) - 1);
+    }
+    fatalIf(heap.empty(), "Huffman build with all-zero counts");
+
+    if (heap.size() == 1) {
+        // A single-symbol alphabet still needs one bit per symbol.
+        std::vector<unsigned> lengths(counts.size(), 0);
+        lengths[nodes[0].symbol] = 1;
+        return lengths;
+    }
+
+    while (heap.size() > 1) {
+        auto [wa, a] = heap.top();
+        heap.pop();
+        auto [wb, b] = heap.top();
+        heap.pop();
+        nodes.push_back({wa + wb, a, b, 0});
+        heap.emplace(wa + wb, static_cast<int>(nodes.size()) - 1);
+    }
+
+    // Depth-first walk assigns lengths.
+    std::vector<unsigned> lengths(counts.size(), 0);
+    std::vector<std::pair<int, unsigned>> stack{
+        {heap.top().second, 0u}};
+    while (!stack.empty()) {
+        auto [idx, depth] = stack.back();
+        stack.pop_back();
+        const auto &n = nodes[static_cast<std::size_t>(idx)];
+        if (n.left < 0) {
+            lengths[n.symbol] = depth;
+        } else {
+            stack.emplace_back(n.left, depth + 1);
+            stack.emplace_back(n.right, depth + 1);
+        }
+    }
+    return lengths;
+}
+
+} // namespace
+
+HuffmanCode
+HuffmanCode::build(std::span<const std::size_t> counts)
+{
+    HuffmanCode code;
+    code.lengths = huffmanLengths(counts);
+    code.codes.assign(code.lengths.size(), 0);
+
+    code.maxLength = 0;
+    for (auto l : code.lengths)
+        code.maxLength = std::max(code.maxLength, l);
+    panicIf(code.maxLength > 32, "Huffman code length exceeds 32");
+
+    // Canonical assignment: symbols sorted by (length, symbol value).
+    code.sortedSymbols.clear();
+    for (std::uint32_t s = 0; s < code.lengths.size(); ++s)
+        if (code.lengths[s] > 0)
+            code.sortedSymbols.push_back(s);
+    std::sort(code.sortedSymbols.begin(), code.sortedSymbols.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (code.lengths[a] != code.lengths[b])
+                      return code.lengths[a] < code.lengths[b];
+                  return a < b;
+              });
+
+    code.countAtLen.assign(code.maxLength + 1, 0);
+    for (auto s : code.sortedSymbols)
+        ++code.countAtLen[code.lengths[s]];
+
+    code.firstCode.assign(code.maxLength + 1, 0);
+    code.firstIndex.assign(code.maxLength + 1, 0);
+    std::uint32_t next_code = 0, next_index = 0;
+    for (unsigned len = 1; len <= code.maxLength; ++len) {
+        next_code <<= 1;
+        code.firstCode[len] = next_code;
+        code.firstIndex[len] = next_index;
+        next_code += code.countAtLen[len];
+        next_index += code.countAtLen[len];
+    }
+
+    for (std::size_t i = 0; i < code.sortedSymbols.size(); ++i) {
+        std::uint32_t s = code.sortedSymbols[i];
+        unsigned len = code.lengths[s];
+        code.codes[s] = code.firstCode[len]
+                        + (static_cast<std::uint32_t>(i)
+                           - code.firstIndex[len]);
+    }
+    return code;
+}
+
+unsigned
+HuffmanCode::lengthOf(std::uint32_t symbol) const
+{
+    fatalIf(symbol >= lengths.size(), "symbol ", symbol,
+            " out of alphabet ", lengths.size());
+    return lengths[symbol];
+}
+
+std::uint32_t
+HuffmanCode::codeOf(std::uint32_t symbol) const
+{
+    fatalIf(lengthOf(symbol) == 0, "symbol ", symbol, " has no code");
+    return codes[symbol];
+}
+
+std::size_t
+HuffmanCode::encodedBits(std::span<const std::size_t> counts) const
+{
+    fatalIf(counts.size() != lengths.size(),
+            "encodedBits alphabet mismatch");
+    std::size_t bits = 0;
+    for (std::size_t s = 0; s < counts.size(); ++s) {
+        fatalIf(counts[s] > 0 && lengths[s] == 0,
+                "stream contains uncoded symbol ", s);
+        bits += counts[s] * lengths[s];
+    }
+    return bits;
+}
+
+std::vector<std::uint8_t>
+HuffmanCode::encode(std::span<const std::uint32_t> symbols,
+                    std::size_t &bit_count) const
+{
+    // MSB-first packing so canonical decode reads codes left to right.
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t acc = 0;
+    unsigned acc_bits = 0;
+    bit_count = 0;
+    for (auto s : symbols) {
+        unsigned len = lengthOf(s);
+        fatalIf(len == 0, "encoding uncoded symbol ", s);
+        acc = (acc << len) | codes[s];
+        acc_bits += len;
+        bit_count += len;
+        while (acc_bits >= 8) {
+            bytes.push_back(
+                static_cast<std::uint8_t>(acc >> (acc_bits - 8)));
+            acc_bits -= 8;
+            acc &= (1ULL << acc_bits) - 1;
+        }
+    }
+    if (acc_bits > 0)
+        bytes.push_back(static_cast<std::uint8_t>(acc << (8 - acc_bits)));
+    return bytes;
+}
+
+std::vector<std::uint32_t>
+HuffmanCode::decode(std::span<const std::uint8_t> bytes,
+                    std::size_t bit_count, std::size_t count) const
+{
+    std::vector<std::uint32_t> out;
+    out.reserve(count);
+    std::size_t pos = 0;
+    auto next_bit = [&]() -> std::uint32_t {
+        fatalIf(pos >= bit_count, "Huffman stream exhausted");
+        std::size_t byte = pos / 8;
+        fatalIf(byte >= bytes.size(), "Huffman stream truncated");
+        std::uint32_t bit = (bytes[byte] >> (7 - pos % 8)) & 1u;
+        ++pos;
+        return bit;
+    };
+
+    for (std::size_t n = 0; n < count; ++n) {
+        std::uint32_t code_word = 0;
+        unsigned len = 0;
+        for (;;) {
+            code_word = (code_word << 1) | next_bit();
+            ++len;
+            fatalIf(len > maxLength, "invalid Huffman code in stream");
+            if (countAtLen[len] > 0
+                && code_word >= firstCode[len]
+                && code_word < firstCode[len] + countAtLen[len]) {
+                out.push_back(sortedSymbols[firstIndex[len] + code_word
+                                            - firstCode[len]]);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+double
+entropyBitsPerSymbol(std::span<const std::size_t> counts)
+{
+    std::size_t total = std::accumulate(counts.begin(), counts.end(),
+                                        std::size_t{0});
+    if (total == 0)
+        return 0.0;
+    double h = 0.0;
+    for (auto c : counts) {
+        if (c == 0)
+            continue;
+        double p = static_cast<double>(c) / static_cast<double>(total);
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+std::vector<std::size_t>
+symbolCounts(std::span<const std::uint32_t> symbols, std::size_t alphabet)
+{
+    std::vector<std::size_t> counts(alphabet, 0);
+    for (auto s : symbols) {
+        fatalIf(s >= alphabet, "symbol ", s, " out of alphabet ",
+                alphabet);
+        ++counts[s];
+    }
+    return counts;
+}
+
+} // namespace gobo

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Canonical Huffman coding for quantization index streams.
+ *
+ * Deep Compression follows its K-Means dictionary with Huffman coding
+ * of the cluster indexes; whether that pays for GOBO is a design
+ * question this library answers empirically (bench/ablation_entropy):
+ * GOBO's equal-population initialization deliberately balances the
+ * cluster populations, so its index stream is nearly uniform and
+ * entropy coding buys almost nothing — the fixed-rate B-bit stream the
+ * paper (and its hardware) uses is already near-optimal. Skewed
+ * centroid policies (Linear especially) leave much more entropy
+ * slack.
+ *
+ * The codec is a standard canonical Huffman: code lengths from a
+ * two-queue build over symbol counts, canonical code assignment, MSB-
+ * first bit packing, and table-driven canonical decoding.
+ */
+
+#ifndef GOBO_UTIL_HUFFMAN_HH
+#define GOBO_UTIL_HUFFMAN_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gobo {
+
+/** A canonical Huffman code over a small alphabet. */
+class HuffmanCode
+{
+  public:
+    /**
+     * Build from symbol frequencies. Symbols with zero count get no
+     * code. At least one symbol must have a nonzero count.
+     */
+    static HuffmanCode build(std::span<const std::size_t> counts);
+
+    /** Alphabet size (including zero-count symbols). */
+    std::size_t alphabetSize() const { return lengths.size(); }
+
+    /** Code length of a symbol in bits; 0 when the symbol is unused. */
+    unsigned lengthOf(std::uint32_t symbol) const;
+
+    /** Code word of a symbol (valid when lengthOf > 0). */
+    std::uint32_t codeOf(std::uint32_t symbol) const;
+
+    /** Total encoded bits for a stream with the given counts. */
+    std::size_t encodedBits(std::span<const std::size_t> counts) const;
+
+    /** Encode a symbol stream (every symbol must have a code). */
+    std::vector<std::uint8_t> encode(
+        std::span<const std::uint32_t> symbols,
+        std::size_t &bit_count) const;
+
+    /** Decode `count` symbols from an encoded stream. */
+    std::vector<std::uint32_t> decode(
+        std::span<const std::uint8_t> bytes, std::size_t bit_count,
+        std::size_t count) const;
+
+  private:
+    std::vector<unsigned> lengths;       ///< Per symbol; 0 = unused.
+    std::vector<std::uint32_t> codes;    ///< Canonical code words.
+    // Canonical decoding tables.
+    unsigned maxLength = 0;
+    std::vector<std::uint32_t> firstCode;   ///< Per length 1..max.
+    std::vector<std::uint32_t> firstIndex;  ///< Into sortedSymbols.
+    std::vector<std::uint32_t> countAtLen;  ///< Codes of each length.
+    std::vector<std::uint32_t> sortedSymbols;
+};
+
+/** Shannon entropy of a count distribution, bits per symbol. */
+double entropyBitsPerSymbol(std::span<const std::size_t> counts);
+
+/** Histogram of a symbol stream over [0, alphabet). */
+std::vector<std::size_t> symbolCounts(
+    std::span<const std::uint32_t> symbols, std::size_t alphabet);
+
+} // namespace gobo
+
+#endif // GOBO_UTIL_HUFFMAN_HH

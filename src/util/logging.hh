@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * `fatal` reports a condition caused by the caller (bad configuration or
+ * arguments) and throws; `panic` reports an internal invariant violation
+ * and aborts. Both format a message with the source location prepended.
+ */
+
+#ifndef GOBO_UTIL_LOGGING_HH
+#define GOBO_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gobo {
+
+/** Exception type thrown by gobo::fatal for user-correctable errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Report a user-correctable error (bad argument, bad configuration) and
+ * throw FatalError. Mirrors gem5's fatal(): the simulation cannot
+ * continue, but it is the caller's fault, not a library bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/**
+ * Report an internal invariant violation and abort. Mirrors gem5's
+ * panic(): this should never happen regardless of what the user does.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    std::cerr << "panic: " << os.str() << std::endl;
+    std::abort();
+}
+
+/** Verify a user-facing precondition; calls fatal() with msg on failure. */
+template <typename... Args>
+void
+fatalIf(bool cond, const Args &...args)
+{
+    if (cond)
+        fatal(args...);
+}
+
+/** Verify an internal invariant; calls panic() with msg on failure. */
+template <typename... Args>
+void
+panicIf(bool cond, const Args &...args)
+{
+    if (cond)
+        panic(args...);
+}
+
+} // namespace gobo
+
+#endif // GOBO_UTIL_LOGGING_HH

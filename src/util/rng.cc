@@ -1,0 +1,15 @@
+#include "util/rng.hh"
+
+#include <algorithm>
+
+namespace gobo {
+
+void
+Rng::fillGaussian(std::vector<float> &dst, double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    for (auto &x : dst)
+        x = static_cast<float>(dist(engine));
+}
+
+} // namespace gobo

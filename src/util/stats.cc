@@ -1,0 +1,193 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace gobo {
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+}
+
+void
+RunningStats::addAll(std::span<const float> xs)
+{
+    for (float x : xs)
+        add(x);
+}
+
+double
+RunningStats::variance() const
+{
+    return n ? m2 / static_cast<double>(n) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(std::span<const float> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (float x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+stddev(std::span<const float> xs)
+{
+    RunningStats rs;
+    rs.addAll(xs);
+    return rs.stddev();
+}
+
+double
+l1Distance(std::span<const float> xs, float c)
+{
+    double s = 0.0;
+    for (float x : xs)
+        s += std::abs(static_cast<double>(x) - c);
+    return s;
+}
+
+double
+l2Distance(std::span<const float> xs, float c)
+{
+    double s = 0.0;
+    for (float x : xs) {
+        double d = static_cast<double>(x) - c;
+        s += d * d;
+    }
+    return s;
+}
+
+double
+quantile(std::span<const float> xs, double q)
+{
+    fatalIf(xs.empty(), "quantile of empty span");
+    fatalIf(q < 0.0 || q > 1.0, "quantile q out of [0,1]: ", q);
+    std::vector<float> v(xs.begin(), xs.end());
+    std::sort(v.begin(), v.end());
+    if (v.size() == 1)
+        return v.front();
+    double pos = q * static_cast<double>(v.size() - 1);
+    auto i = static_cast<std::size_t>(pos);
+    if (i + 1 >= v.size())
+        return v.back();
+    double frac = pos - static_cast<double>(i);
+    return v[i] * (1.0 - frac) + v[i + 1] * frac;
+}
+
+double
+Histogram::binWidth() const
+{
+    return counts.empty() ? 0.0
+                          : (hi - lo) / static_cast<double>(counts.size());
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo + (static_cast<double>(i) + 0.5) * binWidth();
+}
+
+std::size_t
+Histogram::maxCount() const
+{
+    std::size_t m = 0;
+    for (auto c : counts)
+        m = std::max(m, c);
+    return m;
+}
+
+Histogram
+histogram(std::span<const float> xs, double lo, double hi, std::size_t bins)
+{
+    fatalIf(bins == 0, "histogram needs at least one bin");
+    fatalIf(hi <= lo, "histogram range is empty: [", lo, ", ", hi, "]");
+    Histogram h;
+    h.lo = lo;
+    h.hi = hi;
+    h.counts.assign(bins, 0);
+    double width = (hi - lo) / static_cast<double>(bins);
+    for (float x : xs) {
+        double pos = (static_cast<double>(x) - lo) / width;
+        auto i = pos <= 0.0 ? 0
+                            : std::min(bins - 1,
+                                       static_cast<std::size_t>(pos));
+        ++h.counts[i];
+    }
+    return h;
+}
+
+double
+pearson(std::span<const double> a, std::span<const double> b)
+{
+    fatalIf(a.size() != b.size(), "pearson: size mismatch ", a.size(),
+            " vs ", b.size());
+    fatalIf(a.size() < 2, "pearson needs at least two points");
+    auto n = static_cast<double>(a.size());
+    double ma = std::accumulate(a.begin(), a.end(), 0.0) / n;
+    double mb = std::accumulate(b.begin(), b.end(), 0.0) / n;
+    double sab = 0.0, saa = 0.0, sbb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double da = a[i] - ma;
+        double db = b[i] - mb;
+        sab += da * db;
+        saa += da * da;
+        sbb += db * db;
+    }
+    if (saa == 0.0 || sbb == 0.0)
+        return 0.0;
+    return sab / std::sqrt(saa * sbb);
+}
+
+std::vector<double>
+averageRanks(std::span<const double> xs)
+{
+    std::vector<std::size_t> order(xs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t i, std::size_t j) { return xs[i] < xs[j]; });
+
+    std::vector<double> ranks(xs.size(), 0.0);
+    std::size_t i = 0;
+    while (i < order.size()) {
+        std::size_t j = i;
+        while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]])
+            ++j;
+        // Ties share the average of the ranks they would occupy.
+        double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0
+                     + 1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[order[k]] = avg;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+double
+spearman(std::span<const double> a, std::span<const double> b)
+{
+    auto ra = averageRanks(a);
+    auto rb = averageRanks(b);
+    return pearson(ra, rb);
+}
+
+} // namespace gobo

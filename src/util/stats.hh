@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Statistical summaries used throughout the quantizer and the benches.
+ *
+ * Includes single-pass moment accumulation (Welford), quantiles,
+ * histograms (for the Fig. 1b reproduction), norms, and the rank
+ * correlation metric (Spearman) that scores the STS-B-like task.
+ */
+
+#ifndef GOBO_UTIL_STATS_HH
+#define GOBO_UTIL_STATS_HH
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gobo {
+
+/**
+ * Numerically stable single-pass accumulator for mean and variance
+ * (Welford's algorithm). Used by the Gaussian fit over tens of millions
+ * of weights where a naive sum-of-squares loses precision in FP32.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the summary. */
+    void add(double x);
+
+    /** Fold a whole span of observations into the summary. */
+    void addAll(std::span<const float> xs);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n; }
+
+    /** Mean of the observations (0 when empty). */
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Population variance (divides by n). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (+inf when empty). */
+    double min() const { return lo; }
+
+    /** Largest observation (-inf when empty). */
+    double max() const { return hi; }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 1e300;
+    double hi = -1e300;
+};
+
+/** Arithmetic mean of a span; 0 for an empty span. */
+double mean(std::span<const float> xs);
+
+/** Population standard deviation of a span; 0 for an empty span. */
+double stddev(std::span<const float> xs);
+
+/** Sum of |x_i - c| over the span — the L1 objective GOBO monitors. */
+double l1Distance(std::span<const float> xs, float c);
+
+/** Sum of (x_i - c)^2 over the span — the K-Means (L2) objective. */
+double l2Distance(std::span<const float> xs, float c);
+
+/**
+ * Quantile by linear interpolation on the sorted copy of xs.
+ * @param q in [0, 1]; q=0 is the min, q=1 the max.
+ */
+double quantile(std::span<const float> xs, double q);
+
+/**
+ * Fixed-width histogram over [lo, hi]; values outside are clamped into
+ * the first/last bin. Used to reproduce the per-layer weight
+ * distribution plot (Fig. 1b) as console output.
+ */
+struct Histogram
+{
+    double lo = 0.0;
+    double hi = 0.0;
+    std::vector<std::size_t> counts;
+
+    /** Bin width implied by the range and bin count. */
+    double binWidth() const;
+
+    /** Centre of bin i. */
+    double binCenter(std::size_t i) const;
+
+    /** Largest bin population (for scaling console bars). */
+    std::size_t maxCount() const;
+};
+
+/** Build a histogram with `bins` equal-width bins over [lo, hi]. */
+Histogram histogram(std::span<const float> xs, double lo, double hi,
+                    std::size_t bins);
+
+/** Pearson linear correlation between two equal-length sequences. */
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/**
+ * Spearman rank correlation (Pearson over average ranks, handling ties),
+ * the metric GLUE uses for STS-B.
+ */
+double spearman(std::span<const double> a, std::span<const double> b);
+
+/** Average ranks of a sequence with ties given their mean rank. */
+std::vector<double> averageRanks(std::span<const double> xs);
+
+} // namespace gobo
+
+#endif // GOBO_UTIL_STATS_HH

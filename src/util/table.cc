@@ -1,0 +1,67 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gobo {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    fatalIf(header.empty(), "ConsoleTable needs at least one column");
+}
+
+void
+ConsoleTable::addRow(std::vector<std::string> cells)
+{
+    fatalIf(cells.size() != header.size(), "ConsoleTable row has ",
+            cells.size(), " cells, expected ", header.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+ConsoleTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]))
+               << row[c];
+            os << (c + 1 < row.size() ? "  " : "");
+        }
+        os << '\n';
+    };
+
+    emit(header);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit(row);
+}
+
+std::string
+ConsoleTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+ConsoleTable::pct(double v, int precision)
+{
+    return num(v, precision) + "%";
+}
+
+} // namespace gobo

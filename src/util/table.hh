@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Aligned console tables for the bench binaries.
+ *
+ * Every bench regenerates one of the paper's tables or figures as text;
+ * ConsoleTable keeps that output aligned and diff-stable so the
+ * EXPERIMENTS.md paper-vs-measured record can quote it directly.
+ */
+
+#ifndef GOBO_UTIL_TABLE_HH
+#define GOBO_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gobo {
+
+/** Simple column-aligned text table with a header row. */
+class ConsoleTable
+{
+  public:
+    /** Set the column headers; defines the column count. */
+    explicit ConsoleTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with single-space-padded columns and a rule under headers. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+    /** Format a double with fixed precision — bench cell helper. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a percentage ("12.34%") — bench cell helper. */
+    static std::string pct(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace gobo
+
+#endif // GOBO_UTIL_TABLE_HH

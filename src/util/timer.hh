@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Wall-clock timing for the quantization-throughput measurements
+ * (the paper's "~10 minutes on a single CPU core" claim).
+ */
+
+#ifndef GOBO_UTIL_TIMER_HH
+#define GOBO_UTIL_TIMER_HH
+
+#include <chrono>
+
+namespace gobo {
+
+/** Monotonic wall-clock stopwatch. Starts on construction. */
+class WallTimer
+{
+  public:
+    WallTimer() : start(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start = Clock::now(); }
+
+    /** Elapsed seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+} // namespace gobo
+
+#endif // GOBO_UTIL_TIMER_HH

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the Q8BERT-like and Q-BERT-like comparator implementations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/q8bert.hh"
+#include "baselines/qbert.hh"
+#include "model/generate.hh"
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gobo {
+namespace {
+
+Tensor
+gaussianTensor(std::size_t r, std::size_t c, std::uint64_t seed,
+               double sigma = 0.05)
+{
+    Rng rng(seed);
+    std::vector<float> data(r * c);
+    rng.fillGaussian(data, 0.0, sigma);
+    return Tensor(r, c, std::move(data));
+}
+
+TEST(Q8, RoundtripErrorBoundedByScale)
+{
+    Tensor w = gaussianTensor(32, 48, 81);
+    Q8Tensor q = quantizeQ8(w);
+    Tensor back = q.dequantize();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        EXPECT_LE(std::abs(w.flat()[i] - back.flat()[i]),
+                  q.scale / 2.0f + 1e-7f);
+    }
+}
+
+TEST(Q8, ScaleCoversMaxValue)
+{
+    Tensor w = gaussianTensor(16, 16, 83);
+    w(3, 3) = -0.9f; // dominate the range
+    Q8Tensor q = quantizeQ8(w);
+    EXPECT_NEAR(q.scale, 0.9f / 127.0f, 1e-6);
+    Tensor back = q.dequantize();
+    EXPECT_NEAR(back(3, 3), -0.9f, q.scale);
+}
+
+TEST(Q8, PayloadIsOneBytePerWeight)
+{
+    Tensor w = gaussianTensor(10, 10, 85);
+    Q8Tensor q = quantizeQ8(w);
+    EXPECT_EQ(q.payloadBytes(), 100u + sizeof(float));
+}
+
+TEST(Q8, ModelInPlaceGivesFourXCompression)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel m = generateModel(cfg, 87);
+    auto report = q8bertQuantizeModelInPlace(m);
+    EXPECT_NEAR(report.weightCompressionRatio(), 4.0, 0.01);
+    EXPECT_NEAR(report.totalCompressionRatio(), 4.0, 0.01);
+    EXPECT_EQ(report.layers.size(), cfg.numFcLayers());
+}
+
+TEST(Q8, AccountConfigMatchesArithmetic)
+{
+    auto cfg = fullConfig(ModelFamily::BertBase);
+    auto report = q8bertAccountConfig(cfg);
+    EXPECT_EQ(report.weightOriginalBytes,
+              cfg.fcWeightParams() * sizeof(float));
+    // One byte per weight plus one scale per layer.
+    EXPECT_EQ(report.weightPayloadBytes,
+              cfg.fcWeightParams() + 73 * sizeof(float));
+    EXPECT_NEAR(report.totalCompressionRatio(), 4.0, 0.001);
+}
+
+TEST(GroupQuant, GroupOfMapsRowsEvenly)
+{
+    Tensor w = gaussianTensor(128, 8, 89);
+    auto q = quantizeGroupwise(w, 3, 4);
+    EXPECT_EQ(q.dictionaries.size(), 4u);
+    EXPECT_EQ(q.groupOf(0), 0u);
+    EXPECT_EQ(q.groupOf(31), 0u);
+    EXPECT_EQ(q.groupOf(32), 1u);
+    EXPECT_EQ(q.groupOf(127), 3u);
+}
+
+TEST(GroupQuant, DequantizedValuesComeFromOwnGroupDictionary)
+{
+    Tensor w = gaussianTensor(64, 8, 91);
+    auto q = quantizeGroupwise(w, 3, 8);
+    Tensor back = q.dequantize();
+    for (std::size_t r = 0; r < back.rows(); ++r) {
+        const auto &dict = q.dictionaries[q.groupOf(r)];
+        for (std::size_t c = 0; c < back.cols(); ++c) {
+            bool found = false;
+            for (float d : dict)
+                found |= d == back(r, c);
+            EXPECT_TRUE(found) << "row " << r << " col " << c;
+        }
+    }
+}
+
+TEST(GroupQuant, MoreGroupsReduceError)
+{
+    // Give each row-block a different scale so per-group dictionaries
+    // genuinely help.
+    Tensor w(64, 16);
+    Rng rng(93);
+    for (std::size_t r = 0; r < 64; ++r) {
+        double sigma = 0.01 * (1.0 + static_cast<double>(r / 16));
+        for (std::size_t c = 0; c < 16; ++c)
+            w(r, c) = static_cast<float>(rng.gaussian(0.0, sigma));
+    }
+    auto q1 = quantizeGroupwise(w, 3, 1);
+    auto q4 = quantizeGroupwise(w, 3, 4);
+    EXPECT_LT(relativeError(w, q4.dequantize()),
+              relativeError(w, q1.dequantize()));
+}
+
+TEST(GroupQuant, GroupsClampedToRows)
+{
+    Tensor w = gaussianTensor(5, 8, 95);
+    auto q = quantizeGroupwise(w, 3, 128);
+    EXPECT_EQ(q.dictionaries.size(), 5u);
+    EXPECT_NO_THROW(q.dequantize());
+}
+
+TEST(GroupQuant, PayloadAccountsDictionaries)
+{
+    Tensor w = gaussianTensor(128, 16, 97);
+    auto q = quantizeGroupwise(w, 3, 8);
+    std::size_t dict_bits = 0;
+    for (const auto &d : q.dictionaries)
+        dict_bits += d.size() * 32;
+    EXPECT_EQ(q.payloadBytes(), (128 * 16 * 3 + dict_bits + 7) / 8);
+}
+
+TEST(GroupQuant, RejectsBadArguments)
+{
+    Tensor w = gaussianTensor(8, 8, 99);
+    EXPECT_THROW(quantizeGroupwise(w, 0, 4), FatalError);
+    EXPECT_THROW(quantizeGroupwise(w, 9, 4), FatalError);
+    EXPECT_THROW(quantizeGroupwise(w, 3, 0), FatalError);
+    Tensor v(8);
+    EXPECT_THROW(quantizeGroupwise(v, 3, 4), FatalError);
+}
+
+TEST(QBert, ModelInPlaceCompressionMatchesPaperArithmetic)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel m = generateModel(cfg, 101);
+    auto report = qbertQuantizeModelInPlace(m, 3, 16);
+    // Index payload dominates: between 32/4 and 32/3 per weight, plus
+    // an 8-bit embedding table.
+    EXPECT_GT(report.weightCompressionRatio(), 8.0);
+    EXPECT_LT(report.weightCompressionRatio(), 32.0 / 3.0);
+    EXPECT_NEAR(report.embeddingCompressionRatio(), 4.0, 0.01);
+}
+
+TEST(GroupQuant, GoboMethodLowersL1PerGroup)
+{
+    // The design-ablation path: per-group tables selected by GOBO's
+    // L1-monitored refinement instead of K-Means. Summed |w - c| over
+    // the whole tensor must not exceed the K-Means variant's.
+    Tensor w = gaussianTensor(64, 32, 103);
+    auto km = quantizeGroupwise(w, 3, 8, CentroidMethod::KMeans);
+    auto gobo = quantizeGroupwise(w, 3, 8, CentroidMethod::Gobo);
+    auto l1_of = [&](const GroupQuantTensor &q) {
+        Tensor d = q.dequantize();
+        double l1 = 0.0;
+        for (std::size_t i = 0; i < w.size(); ++i)
+            l1 += std::abs(static_cast<double>(w.flat()[i])
+                           - d.flat()[i]);
+        return l1;
+    };
+    EXPECT_LE(l1_of(gobo), l1_of(km) * 1.0001);
+}
+
+TEST(GroupQuant, LinearMethodIsSupported)
+{
+    Tensor w = gaussianTensor(16, 16, 107);
+    auto q = quantizeGroupwise(w, 3, 4, CentroidMethod::Linear);
+    EXPECT_EQ(q.dictionaries.size(), 4u);
+    EXPECT_NO_THROW(q.dequantize());
+}
+
+TEST(QBert, AccountConfigFullScale)
+{
+    auto cfg = fullConfig(ModelFamily::BertBase);
+    auto r3 = qbertAccountConfig(cfg, 3);
+    auto r4 = qbertAccountConfig(cfg, 4);
+    // Paper Table III: Q-BERT 3-bit 7.81x, 4-bit 6.52x overall.
+    EXPECT_NEAR(r3.totalCompressionRatio(), 7.81, 0.25);
+    EXPECT_NEAR(r4.totalCompressionRatio(), 6.52, 0.25);
+}
+
+} // namespace
+} // namespace gobo

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Corruption-injection tests: every loader must either load (when a
+ * flipped byte lands in a value payload, producing different but
+ * well-formed data) or fail with FatalError — never crash, hang, or
+ * allocate absurdly. Complements the targeted truncation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/container.hh"
+#include "core/qtensor.hh"
+#include "core/quantizer.hh"
+#include "model/generate.hh"
+#include "model/serialize.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gobo {
+namespace {
+
+/** Flip one byte and ensure the loader reacts gracefully. */
+template <typename LoadFn>
+void
+fuzzOneByte(const std::string &bytes, LoadFn load, std::size_t trials,
+            std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (std::size_t t = 0; t < trials; ++t) {
+        std::string corrupt = bytes;
+        auto pos = static_cast<std::size_t>(rng.integer(
+            0, static_cast<std::int64_t>(corrupt.size()) - 1));
+        auto flip = static_cast<char>(rng.integer(1, 255));
+        corrupt[pos] = static_cast<char>(corrupt[pos] ^ flip);
+        std::stringstream ss(corrupt);
+        try {
+            load(ss); // either works (payload flip) ...
+        } catch (const FatalError &) {
+            // ... or fails loudly. Both are acceptable.
+        }
+    }
+}
+
+TEST(FuzzLoaders, QuantizedTensorSurvivesByteFlips)
+{
+    Rng rng(701);
+    Tensor w(48, 48);
+    rng.fillGaussian(w.data(), 0.0, 0.05);
+    GoboConfig cfg;
+    cfg.bits = 3;
+    auto q = quantizeTensor(w, cfg);
+    std::stringstream ss;
+    q.save(ss);
+    fuzzOneByte(ss.str(),
+                [](std::istream &is) { (void)QuantizedTensor::load(is); },
+                300, 703);
+}
+
+TEST(FuzzLoaders, ModelSurvivesByteFlips)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel m = generateModel(cfg, 705);
+    std::stringstream ss;
+    saveModel(ss, m);
+    fuzzOneByte(ss.str(),
+                [](std::istream &is) { (void)loadModel(is); }, 150, 707);
+}
+
+TEST(FuzzLoaders, ContainerSurvivesByteFlips)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel m = generateModel(cfg, 709);
+    ModelQuantOptions opt;
+    opt.base.bits = 3;
+    opt.embeddingBits = 4;
+    std::stringstream ss;
+    saveCompressedModel(ss, m, opt);
+    fuzzOneByte(ss.str(),
+                [](std::istream &is) { (void)loadCompressedModel(is); },
+                150, 711);
+}
+
+TEST(FuzzLoaders, HeaderFlipsAlwaysRejected)
+{
+    // Corruption inside the first 8 bytes (magic + version) must be
+    // rejected, not survived.
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel m = generateModel(cfg, 713);
+    std::stringstream ss;
+    saveModel(ss, m);
+    std::string bytes = ss.str();
+    for (std::size_t pos = 0; pos < 8; ++pos) {
+        std::string corrupt = bytes;
+        corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x5a);
+        std::stringstream in(corrupt);
+        EXPECT_THROW((void)loadModel(in), FatalError) << "pos " << pos;
+    }
+}
+
+} // namespace
+} // namespace gobo

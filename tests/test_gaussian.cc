@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the Gaussian fit and log-PDF outlier scoring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "core/gaussian.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gobo {
+namespace {
+
+TEST(GaussianFit, RecoversKnownParameters)
+{
+    Rng rng(31);
+    std::vector<float> xs(100000);
+    rng.fillGaussian(xs, 0.5, 0.05);
+    auto fit = GaussianFit::fit(xs);
+    EXPECT_NEAR(fit.mean(), 0.5, 1e-3);
+    EXPECT_NEAR(fit.sigma(), 0.05, 1e-3);
+}
+
+TEST(GaussianFit, LogPdfMatchesFormula)
+{
+    GaussianFit fit(0.0, 2.0);
+    for (double x : {-3.0, 0.0, 1.0, 5.0}) {
+        double expected = -std::log(2.0 * std::sqrt(2.0
+                                                    * std::numbers::pi))
+                          - x * x / 8.0;
+        EXPECT_NEAR(fit.logPdf(x), expected, 1e-12);
+    }
+}
+
+TEST(GaussianFit, PeakValue)
+{
+    GaussianFit fit(3.0, 1.0);
+    EXPECT_NEAR(fit.logPdf(3.0), -std::log(std::sqrt(2.0
+                                                     * std::numbers::pi)),
+                1e-12);
+}
+
+TEST(GaussianFit, ZCutoffIsInverseOfLogPdf)
+{
+    GaussianFit fit(0.1, 0.04);
+    double z = fit.zCutoff(-4.0);
+    ASSERT_TRUE(std::isfinite(z));
+    // At exactly z sigmas from the mean, logPdf equals the threshold.
+    EXPECT_NEAR(fit.logPdf(fit.mean() + z * fit.sigma()), -4.0, 1e-9);
+    EXPECT_NEAR(fit.logPdf(fit.mean() - z * fit.sigma()), -4.0, 1e-9);
+    EXPECT_NEAR(fit.absoluteCutoff(-4.0), z * 0.04, 1e-12);
+}
+
+TEST(GaussianFit, ZCutoffInfiniteWhenUnreachable)
+{
+    // A very wide Gaussian never scores above a generous threshold.
+    GaussianFit fit(0.0, 100.0);
+    EXPECT_TRUE(std::isinf(fit.zCutoff(-1000.0)) == false);
+    // Peak logPdf = -log(100*sqrt(2pi)) ~ -5.52; threshold above the
+    // peak means every point scores below it -> cutoff 0-ish, but a
+    // threshold below any achievable density yields +inf only when
+    // rhs <= 0: use a threshold above the peak.
+    EXPECT_TRUE(std::isinf(fit.zCutoff(-5.0)));
+}
+
+TEST(GaussianFit, MonotoneThresholds)
+{
+    GaussianFit fit(0.0, 0.05);
+    // A stricter (lower) threshold admits only farther outliers.
+    EXPECT_LT(fit.zCutoff(-3.0), fit.zCutoff(-4.0));
+    EXPECT_LT(fit.zCutoff(-4.0), fit.zCutoff(-6.0));
+}
+
+TEST(GaussianFit, RejectsDegenerateInput)
+{
+    std::vector<float> constant(10, 1.0f);
+    EXPECT_THROW(GaussianFit::fit(constant), FatalError);
+    std::vector<float> one{1.0f};
+    EXPECT_THROW(GaussianFit::fit(one), FatalError);
+    EXPECT_THROW(GaussianFit(0.0, 0.0), FatalError);
+    EXPECT_THROW(GaussianFit(0.0, -1.0), FatalError);
+}
+
+} // namespace
+} // namespace gobo

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit and property tests for the canonical Huffman codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/huffman.hh"
+#include "util/logging.hh"
+
+namespace gobo {
+namespace {
+
+TEST(Huffman, TwoSymbolAlphabet)
+{
+    std::vector<std::size_t> counts{10, 90};
+    auto code = HuffmanCode::build(counts);
+    EXPECT_EQ(code.lengthOf(0), 1u);
+    EXPECT_EQ(code.lengthOf(1), 1u);
+    EXPECT_NE(code.codeOf(0), code.codeOf(1));
+}
+
+TEST(Huffman, SingleSymbolStillCodes)
+{
+    std::vector<std::size_t> counts{0, 42, 0};
+    auto code = HuffmanCode::build(counts);
+    EXPECT_EQ(code.lengthOf(1), 1u);
+    EXPECT_EQ(code.lengthOf(0), 0u);
+    std::vector<std::uint32_t> stream(17, 1);
+    std::size_t bits = 0;
+    auto bytes = code.encode(stream, bits);
+    EXPECT_EQ(bits, 17u);
+    auto back = code.decode(bytes, bits, stream.size());
+    EXPECT_EQ(back, stream);
+}
+
+TEST(Huffman, SkewedDistributionGetsShortCodes)
+{
+    // Frequent symbols must get codes no longer than rare ones.
+    std::vector<std::size_t> counts{1000, 200, 50, 10, 5, 1, 1, 1};
+    auto code = HuffmanCode::build(counts);
+    for (std::uint32_t s = 1; s < counts.size(); ++s)
+        EXPECT_LE(code.lengthOf(0), code.lengthOf(s));
+    // And the average length beats the fixed 3-bit rate.
+    double avg = static_cast<double>(code.encodedBits(counts)) / 1268.0;
+    EXPECT_LT(avg, 3.0);
+    EXPECT_GE(avg, entropyBitsPerSymbol(counts) - 1e-9);
+}
+
+TEST(Huffman, UniformDistributionNearFixedRate)
+{
+    std::vector<std::size_t> counts(8, 1000);
+    auto code = HuffmanCode::build(counts);
+    for (std::uint32_t s = 0; s < 8; ++s)
+        EXPECT_EQ(code.lengthOf(s), 3u);
+}
+
+TEST(Huffman, KraftInequalityHolds)
+{
+    std::vector<std::size_t> counts{7, 3, 19, 1, 1, 200, 42, 13, 5, 5};
+    auto code = HuffmanCode::build(counts);
+    double kraft = 0.0;
+    for (std::uint32_t s = 0; s < counts.size(); ++s)
+        if (code.lengthOf(s) > 0)
+            kraft += std::pow(2.0, -static_cast<double>(
+                                  code.lengthOf(s)));
+    EXPECT_NEAR(kraft, 1.0, 1e-12); // Huffman codes are complete
+}
+
+TEST(Huffman, RejectsDegenerateInput)
+{
+    std::vector<std::size_t> zeros(4, 0);
+    EXPECT_THROW(HuffmanCode::build(zeros), FatalError);
+    std::vector<std::size_t> counts{1, 1};
+    auto code = HuffmanCode::build(counts);
+    EXPECT_THROW(code.lengthOf(5), FatalError);
+    std::vector<std::uint32_t> bad{3};
+    std::size_t bits;
+    EXPECT_THROW(code.encode(bad, bits), FatalError);
+}
+
+TEST(Huffman, DecodeRejectsTruncation)
+{
+    std::vector<std::size_t> counts{5, 5, 5, 5};
+    auto code = HuffmanCode::build(counts);
+    std::vector<std::uint32_t> stream{0, 1, 2, 3, 0, 1};
+    std::size_t bits = 0;
+    auto bytes = code.encode(stream, bits);
+    EXPECT_THROW(code.decode(bytes, bits / 2, stream.size()),
+                 FatalError);
+}
+
+/** Roundtrip property across distribution shapes and alphabet sizes. */
+class HuffmanRoundtrip
+    : public ::testing::TestWithParam<std::pair<std::size_t, double>>
+{
+};
+
+TEST_P(HuffmanRoundtrip, EncodeDecodeIdentity)
+{
+    auto [alphabet, skew] = GetParam();
+    std::mt19937_64 eng(alphabet * 31 + static_cast<unsigned>(skew * 10));
+
+    // Zipf-ish distribution with the given skew.
+    std::vector<double> weights(alphabet);
+    for (std::size_t s = 0; s < alphabet; ++s)
+        weights[s] = 1.0 / std::pow(static_cast<double>(s + 1), skew);
+    std::discrete_distribution<std::uint32_t> dist(weights.begin(),
+                                                   weights.end());
+
+    std::vector<std::uint32_t> stream(5000);
+    for (auto &s : stream)
+        s = dist(eng);
+
+    auto counts = symbolCounts(stream, alphabet);
+    // Ensure every symbol appears so the code covers the alphabet.
+    for (std::uint32_t s = 0; s < alphabet; ++s) {
+        if (counts[s] == 0) {
+            stream.push_back(s);
+            ++counts[s];
+        }
+    }
+
+    auto code = HuffmanCode::build(counts);
+    std::size_t bits = 0;
+    auto bytes = code.encode(stream, bits);
+    EXPECT_EQ(bits, code.encodedBits(counts));
+    auto back = code.decode(bytes, bits, stream.size());
+    EXPECT_EQ(back, stream);
+
+    // Source coding theorem sandwich: entropy <= avg length <
+    // entropy + 1.
+    double h = entropyBitsPerSymbol(counts);
+    double avg = static_cast<double>(bits)
+                 / static_cast<double>(stream.size());
+    EXPECT_GE(avg, h - 1e-9);
+    EXPECT_LT(avg, h + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HuffmanRoundtrip,
+    ::testing::Values(std::pair<std::size_t, double>{2, 0.0},
+                      std::pair<std::size_t, double>{4, 1.0},
+                      std::pair<std::size_t, double>{8, 0.0},
+                      std::pair<std::size_t, double>{8, 1.5},
+                      std::pair<std::size_t, double>{16, 1.0},
+                      std::pair<std::size_t, double>{32, 2.0},
+                      std::pair<std::size_t, double>{128, 1.0},
+                      std::pair<std::size_t, double>{256, 0.5}));
+
+TEST(Entropy, KnownValues)
+{
+    std::vector<std::size_t> uniform(4, 25);
+    EXPECT_NEAR(entropyBitsPerSymbol(uniform), 2.0, 1e-12);
+    std::vector<std::size_t> certain{100, 0, 0};
+    EXPECT_NEAR(entropyBitsPerSymbol(certain), 0.0, 1e-12);
+    std::vector<std::size_t> empty(4, 0);
+    EXPECT_EQ(entropyBitsPerSymbol(empty), 0.0);
+}
+
+TEST(SymbolCountsTest, CountsAndValidates)
+{
+    std::vector<std::uint32_t> stream{0, 1, 1, 3};
+    auto counts = symbolCounts(stream, 4);
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(counts[2], 0u);
+    EXPECT_EQ(counts[3], 1u);
+    std::vector<std::uint32_t> bad{9};
+    EXPECT_THROW(symbolCounts(bad, 4), FatalError);
+}
+
+} // namespace
+} // namespace gobo

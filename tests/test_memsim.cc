@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the memory traffic / energy / latency model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsim/memsim.hh"
+#include "util/logging.hh"
+
+namespace gobo {
+namespace {
+
+TEST(InferenceCostTest, Fp32WeightTrafficMatchesFootprint)
+{
+    auto cfg = fullConfig(ModelFamily::BertBase);
+    auto cost = inferenceCost(cfg, 128);
+    EXPECT_EQ(cost.weightBytes, cfg.fcWeightParams() * sizeof(float));
+    EXPECT_EQ(cost.embeddingBytes, 128u * cfg.hidden * sizeof(float));
+    EXPECT_GT(cost.macs, 1e9);
+    EXPECT_EQ(cost.offChipBytes(),
+              cost.weightBytes + cost.embeddingBytes);
+}
+
+TEST(InferenceCostTest, CompressionDividesTraffic)
+{
+    auto cfg = fullConfig(ModelFamily::BertBase);
+    auto fp32 = inferenceCost(cfg, 128);
+    auto comp = inferenceCost(cfg, 128, 10.0, 8.0);
+    EXPECT_NEAR(static_cast<double>(fp32.weightBytes)
+                    / static_cast<double>(comp.weightBytes),
+                10.0, 0.01);
+    EXPECT_NEAR(static_cast<double>(fp32.embeddingBytes)
+                    / static_cast<double>(comp.embeddingBytes),
+                8.0, 0.01);
+    // Compute is unchanged by compression.
+    EXPECT_EQ(fp32.macs, comp.macs);
+}
+
+TEST(InferenceCostTest, RejectsBadArguments)
+{
+    auto cfg = fullConfig(ModelFamily::BertBase);
+    EXPECT_THROW(inferenceCost(cfg, 0), FatalError);
+    EXPECT_THROW(inferenceCost(cfg, 128, 0.5), FatalError);
+}
+
+TEST(Estimate, BertIsMemoryBoundAtBatchOne)
+{
+    // The paper's premise: single-stream BERT inference is dominated by
+    // streaming weights.
+    auto cfg = fullConfig(ModelFamily::BertLarge);
+    auto cost = inferenceCost(cfg, 128);
+    MemParams params;
+    auto r = estimate(cost, params);
+    EXPECT_TRUE(r.memoryBound);
+    EXPECT_GT(r.memoryLatencyMs, r.computeLatencyMs);
+    EXPECT_GT(r.offChipEnergyMicroJ, r.onChipEnergyMicroJ);
+}
+
+TEST(Estimate, CompressionCutsMemoryLatencyProportionally)
+{
+    auto cfg = fullConfig(ModelFamily::BertBase);
+    MemParams params;
+    auto fp32 = estimate(inferenceCost(cfg, 128), params);
+    auto comp = estimate(inferenceCost(cfg, 128, 10.0, 10.0), params);
+    EXPECT_NEAR(fp32.memoryLatencyMs / comp.memoryLatencyMs, 10.0, 0.1);
+    EXPECT_LT(comp.offChipEnergyMicroJ, fp32.offChipEnergyMicroJ / 9.0);
+}
+
+TEST(Estimate, EnergySplitsSum)
+{
+    auto cfg = fullConfig(ModelFamily::DistilBert);
+    MemParams params;
+    auto r = estimate(inferenceCost(cfg, 128), params);
+    EXPECT_NEAR(r.totalEnergyMicroJ,
+                r.offChipEnergyMicroJ + r.onChipEnergyMicroJ
+                    + r.computeEnergyMicroJ,
+                1e-9);
+}
+
+TEST(Estimate, ComputeBoundWhenBandwidthHuge)
+{
+    auto cfg = fullConfig(ModelFamily::BertBase);
+    MemParams params;
+    params.dramGBps = 1e6; // effectively infinite bandwidth
+    auto r = estimate(inferenceCost(cfg, 128), params);
+    EXPECT_FALSE(r.memoryBound);
+    EXPECT_EQ(r.latencyMs, r.computeLatencyMs);
+}
+
+} // namespace
+} // namespace gobo

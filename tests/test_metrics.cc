@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for task metrics (span F1, accuracy).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "task/metrics.hh"
+#include "util/logging.hh"
+
+namespace gobo {
+namespace {
+
+TEST(SpanF1Test, ExactMatchIsOne)
+{
+    EXPECT_DOUBLE_EQ(spanF1(3, 7, 3, 7), 1.0);
+    EXPECT_DOUBLE_EQ(spanF1(5, 5, 5, 5), 1.0);
+}
+
+TEST(SpanF1Test, DisjointIsZero)
+{
+    EXPECT_DOUBLE_EQ(spanF1(0, 2, 5, 8), 0.0);
+    EXPECT_DOUBLE_EQ(spanF1(5, 8, 0, 2), 0.0);
+}
+
+TEST(SpanF1Test, PartialOverlap)
+{
+    // Pred [0,3] (4 tokens), gold [2,5] (4 tokens), overlap 2.
+    // P = 0.5, R = 0.5, F1 = 0.5.
+    EXPECT_DOUBLE_EQ(spanF1(0, 3, 2, 5), 0.5);
+}
+
+TEST(SpanF1Test, AsymmetricLengths)
+{
+    // Pred [2,2] inside gold [0,9]: P=1, R=0.1, F1 = 2*0.1/1.1.
+    EXPECT_NEAR(spanF1(2, 2, 0, 9), 2.0 * 0.1 / 1.1, 1e-12);
+}
+
+TEST(SpanF1Test, SymmetricInArguments)
+{
+    EXPECT_DOUBLE_EQ(spanF1(1, 4, 3, 9), spanF1(3, 9, 1, 4));
+}
+
+TEST(SpanF1Test, RejectsInvertedSpans)
+{
+    EXPECT_THROW(spanF1(5, 3, 0, 1), FatalError);
+    EXPECT_THROW(spanF1(0, 1, 5, 3), FatalError);
+}
+
+TEST(AccuracyTest, CountsMatches)
+{
+    std::vector<int> pred{0, 1, 2, 1};
+    std::vector<int> gold{0, 1, 1, 1};
+    EXPECT_DOUBLE_EQ(accuracy(pred, gold), 0.75);
+}
+
+TEST(AccuracyTest, RejectsMismatchedOrEmpty)
+{
+    std::vector<int> a{1}, b{1, 2}, empty;
+    EXPECT_THROW(accuracy(a, b), FatalError);
+    EXPECT_THROW(accuracy(empty, empty), FatalError);
+}
+
+} // namespace
+} // namespace gobo

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the 1-D EM Gaussian-mixture fitter and the mixture-based
+ * outlier split.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gaussian.hh"
+#include "core/mixture.hh"
+#include "core/outliers.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gobo {
+namespace {
+
+std::vector<float>
+twoScaleMixture(std::size_t n, double frac_wide, double sigma_narrow,
+                double sigma_wide, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> xs(n);
+    for (auto &x : xs) {
+        double sd = rng.uniform() < frac_wide ? sigma_wide
+                                              : sigma_narrow;
+        x = static_cast<float>(rng.gaussian(0.0, sd));
+    }
+    return xs;
+}
+
+TEST(Mixture, SingleComponentMatchesGaussianFit)
+{
+    Rng rng(501);
+    std::vector<float> xs(20000);
+    rng.fillGaussian(xs, 0.1, 0.05);
+    auto gm = GaussianMixture::fit(xs, 1);
+    auto fit = GaussianFit::fit(xs);
+    ASSERT_EQ(gm.components().size(), 1u);
+    EXPECT_NEAR(gm.components()[0].mean, fit.mean(), 1e-9);
+    EXPECT_NEAR(gm.components()[0].sigma, fit.sigma(), 1e-9);
+    EXPECT_NEAR(gm.components()[0].weight, 1.0, 1e-12);
+    // logPdf agrees with the closed form.
+    for (double x : {-0.1, 0.1, 0.3})
+        EXPECT_NEAR(gm.logPdf(x), fit.logPdf(x), 1e-9);
+}
+
+TEST(Mixture, RecoversTwoScales)
+{
+    auto xs = twoScaleMixture(60000, 0.3, 0.02, 0.08, 503);
+    auto gm = GaussianMixture::fit(xs, 2);
+    ASSERT_EQ(gm.components().size(), 2u);
+    const auto &narrow = gm.components()[0];
+    const auto &wide = gm.components()[1];
+    EXPECT_NEAR(narrow.sigma, 0.02, 0.006);
+    EXPECT_NEAR(wide.sigma, 0.08, 0.015);
+    EXPECT_NEAR(wide.weight, 0.3, 0.08);
+    EXPECT_NEAR(narrow.mean, 0.0, 0.005);
+}
+
+TEST(Mixture, LikelihoodImprovesWithComponents)
+{
+    auto xs = twoScaleMixture(30000, 0.25, 0.02, 0.09, 509);
+    auto gm1 = GaussianMixture::fit(xs, 1);
+    auto gm2 = GaussianMixture::fit(xs, 2);
+    EXPECT_GT(gm2.meanLogLikelihood(),
+              gm1.meanLogLikelihood() + 1e-4);
+}
+
+TEST(Mixture, WeightsSumToOne)
+{
+    auto xs = twoScaleMixture(10000, 0.4, 0.03, 0.06, 511);
+    for (std::size_t k : {1u, 2u, 3u}) {
+        auto gm = GaussianMixture::fit(xs, k);
+        double sum = 0.0;
+        for (const auto &c : gm.components())
+            sum += c.weight;
+        EXPECT_NEAR(sum, 1.0, 1e-6) << "k=" << k;
+    }
+}
+
+TEST(Mixture, RejectsDegenerateInput)
+{
+    std::vector<float> one{1.0f};
+    EXPECT_THROW(GaussianMixture::fit(one, 2), FatalError);
+    std::vector<float> constant(100, 2.0f);
+    EXPECT_THROW(GaussianMixture::fit(constant, 2), FatalError);
+    std::vector<float> ok{0.0f, 1.0f, 2.0f};
+    EXPECT_THROW(GaussianMixture::fit(ok, 0), FatalError);
+    EXPECT_THROW(GaussianMixture::fit(ok, 17), FatalError);
+}
+
+TEST(MixtureSplitTest, SingleComponentMatchesSplitOutliers)
+{
+    Rng rng(521);
+    std::vector<float> xs(30000);
+    rng.fillGaussian(xs, 0.0, 0.05);
+    xs[100] = 0.5f;
+    xs[2000] = -0.45f;
+    auto classic = splitOutliers(xs, -4.0);
+    auto mixture = splitOutliersMixture(xs, 1, -4.0);
+    EXPECT_EQ(mixture.outlierPositions, classic.outlierPositions);
+    EXPECT_EQ(mixture.outlierValues, classic.outlierValues);
+    EXPECT_EQ(mixture.gValues.size(), classic.gValues.size());
+}
+
+TEST(MixtureSplitTest, TwoComponentsAbsorbTheShoulder)
+{
+    // On two-scale data, a 2-component fit explains the wide shoulder
+    // as structure instead of flagging its tail as outliers.
+    auto xs = twoScaleMixture(50000, 0.2, 0.02, 0.08, 523);
+    auto one = splitOutliersMixture(xs, 1, -4.0);
+    auto two = splitOutliersMixture(xs, 2, -4.0);
+    EXPECT_LT(two.outlierFraction(), one.outlierFraction());
+}
+
+} // namespace
+} // namespace gobo

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for tensor operations against brute-force references.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace gobo {
+namespace {
+
+Tensor
+randomTensor(std::size_t r, std::size_t c, std::uint64_t seed)
+{
+    std::mt19937_64 eng(seed);
+    std::normal_distribution<float> n(0.0f, 1.0f);
+    Tensor t(r, c);
+    for (auto &v : t.flat())
+        v = n(eng);
+    return t;
+}
+
+TEST(Matmul, SmallKnownProduct)
+{
+    Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+    Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
+    Tensor c = matmul(a, b);
+    ASSERT_EQ(c.rows(), 2u);
+    ASSERT_EQ(c.cols(), 2u);
+    EXPECT_FLOAT_EQ(c(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(Matmul, MatchesNaiveReference)
+{
+    Tensor a = randomTensor(7, 11, 1);
+    Tensor b = randomTensor(11, 5, 2);
+    Tensor c = matmul(a, b);
+    for (std::size_t i = 0; i < 7; ++i) {
+        for (std::size_t j = 0; j < 5; ++j) {
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < 11; ++k)
+                acc += a(i, k) * b(k, j);
+            EXPECT_NEAR(c(i, j), acc, 1e-4);
+        }
+    }
+}
+
+TEST(Matmul, ShapeMismatchIsFatal)
+{
+    Tensor a(2, 3);
+    Tensor b(4, 2);
+    EXPECT_THROW(matmul(a, b), FatalError);
+}
+
+TEST(Linear, MatchesTransposedMatmulPlusBias)
+{
+    Tensor x = randomTensor(4, 6, 3);
+    Tensor w = randomTensor(5, 6, 4); // [out, in]
+    Tensor bias(5);
+    for (std::size_t o = 0; o < 5; ++o)
+        bias(o) = static_cast<float>(o) * 0.1f;
+    Tensor y = linear(x, w, bias);
+    ASSERT_EQ(y.rows(), 4u);
+    ASSERT_EQ(y.cols(), 5u);
+    for (std::size_t s = 0; s < 4; ++s) {
+        for (std::size_t o = 0; o < 5; ++o) {
+            float acc = bias(o);
+            for (std::size_t i = 0; i < 6; ++i)
+                acc += x(s, i) * w(o, i);
+            EXPECT_NEAR(y(s, o), acc, 1e-4);
+        }
+    }
+}
+
+TEST(Linear, BiasSizeChecked)
+{
+    Tensor x(2, 3);
+    Tensor w(4, 3);
+    Tensor bias(3);
+    EXPECT_THROW(linear(x, w, bias), FatalError);
+}
+
+TEST(Add, Elementwise)
+{
+    Tensor a(2, 2, {1, 2, 3, 4});
+    Tensor b(2, 2, {10, 20, 30, 40});
+    Tensor c = add(a, b);
+    EXPECT_FLOAT_EQ(c(1, 1), 44.0f);
+    Tensor d(4);
+    EXPECT_THROW(add(a, d), FatalError);
+}
+
+TEST(Softmax, RowsSumToOne)
+{
+    Tensor x = randomTensor(5, 9, 6);
+    softmaxRows(x);
+    for (std::size_t r = 0; r < 5; ++r) {
+        float sum = 0.0f;
+        for (std::size_t c = 0; c < 9; ++c) {
+            EXPECT_GT(x(r, c), 0.0f);
+            sum += x(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+}
+
+TEST(Softmax, InvariantToRowShift)
+{
+    Tensor a(1, 3, {1.0f, 2.0f, 3.0f});
+    Tensor b(1, 3, {101.0f, 102.0f, 103.0f});
+    softmaxRows(a);
+    softmaxRows(b);
+    for (std::size_t c = 0; c < 3; ++c)
+        EXPECT_NEAR(a(0, c), b(0, c), 1e-5);
+}
+
+TEST(Softmax, NumericallyStableOnLargeLogits)
+{
+    Tensor x(1, 2, {1000.0f, 999.0f});
+    softmaxRows(x);
+    EXPECT_NEAR(x(0, 0) + x(0, 1), 1.0f, 1e-5);
+    EXPECT_GT(x(0, 0), x(0, 1));
+}
+
+TEST(Gelu, KnownValues)
+{
+    Tensor x(1, 3, {0.0f, 10.0f, -10.0f});
+    geluInplace(x);
+    EXPECT_NEAR(x(0, 0), 0.0f, 1e-6);
+    EXPECT_NEAR(x(0, 1), 10.0f, 1e-3); // ~identity for large positive
+    EXPECT_NEAR(x(0, 2), 0.0f, 1e-3);  // ~zero for large negative
+}
+
+TEST(Gelu, MidpointMatchesTanhApproximation)
+{
+    Tensor x(1, 1, {1.0f});
+    geluInplace(x);
+    // gelu(1) with the tanh approximation is about 0.8412.
+    EXPECT_NEAR(x(0, 0), 0.8412f, 1e-3);
+}
+
+TEST(Tanh, Bounds)
+{
+    Tensor x(1, 3, {-100.0f, 0.0f, 100.0f});
+    tanhInplace(x);
+    EXPECT_NEAR(x(0, 0), -1.0f, 1e-6);
+    EXPECT_NEAR(x(0, 1), 0.0f, 1e-6);
+    EXPECT_NEAR(x(0, 2), 1.0f, 1e-6);
+}
+
+TEST(LayerNorm, NormalizesRows)
+{
+    Tensor x = randomTensor(4, 32, 8);
+    std::vector<float> gamma(32, 1.0f), beta(32, 0.0f);
+    layerNormInplace(x, gamma, beta);
+    for (std::size_t r = 0; r < 4; ++r) {
+        double mu = 0.0, var = 0.0;
+        for (std::size_t c = 0; c < 32; ++c)
+            mu += x(r, c);
+        mu /= 32.0;
+        for (std::size_t c = 0; c < 32; ++c)
+            var += (x(r, c) - mu) * (x(r, c) - mu);
+        var /= 32.0;
+        EXPECT_NEAR(mu, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+}
+
+TEST(LayerNorm, AppliesGammaBeta)
+{
+    Tensor x(1, 2, {-1.0f, 1.0f});
+    std::vector<float> gamma{2.0f, 2.0f}, beta{1.0f, 1.0f};
+    layerNormInplace(x, gamma, beta);
+    // Normalized values are -1 and +1; scaled/shifted to -1 and 3.
+    EXPECT_NEAR(x(0, 0), -1.0f, 1e-2);
+    EXPECT_NEAR(x(0, 1), 3.0f, 1e-2);
+}
+
+TEST(LayerNorm, ParameterSizeChecked)
+{
+    Tensor x(1, 4);
+    std::vector<float> gamma(3, 1.0f), beta(4, 0.0f);
+    EXPECT_THROW(layerNormInplace(x, gamma, beta), FatalError);
+}
+
+TEST(Argmax, FirstOnTies)
+{
+    std::vector<float> xs{1.0f, 3.0f, 3.0f, 2.0f};
+    EXPECT_EQ(argmax(xs), 1u);
+    EXPECT_THROW(argmax(std::vector<float>{}), FatalError);
+}
+
+TEST(MeanRows, Averages)
+{
+    Tensor x(2, 3, {1, 2, 3, 3, 4, 5});
+    Tensor m = meanRows(x);
+    ASSERT_EQ(m.size(), 3u);
+    EXPECT_FLOAT_EQ(m(0), 2.0f);
+    EXPECT_FLOAT_EQ(m(1), 3.0f);
+    EXPECT_FLOAT_EQ(m(2), 4.0f);
+}
+
+TEST(RelativeError, ZeroForIdentical)
+{
+    Tensor a = randomTensor(3, 3, 10);
+    EXPECT_EQ(relativeError(a, a), 0.0);
+}
+
+TEST(RelativeError, ScalesWithPerturbation)
+{
+    Tensor a(1, 2, {3.0f, 4.0f});
+    Tensor b(1, 2, {3.0f, 4.5f});
+    // ||a-b|| = 0.5, ||a|| = 5 -> 0.1.
+    EXPECT_NEAR(relativeError(a, b), 0.1, 1e-6);
+}
+
+} // namespace
+} // namespace gobo

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the G/O split (outlier detection).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/outliers.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gobo {
+namespace {
+
+std::vector<float>
+gaussianWithPlantedOutliers(std::size_t n, std::size_t n_out,
+                            std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> xs(n);
+    rng.fillGaussian(xs, 0.0, 0.05);
+    for (std::size_t i = 0; i < n_out; ++i) {
+        // Plant at 8 sigma, alternating signs, at spread positions.
+        std::size_t pos = (i * 977) % n;
+        xs[pos] = (i % 2 ? -1.0f : 1.0f) * 0.4f;
+    }
+    return xs;
+}
+
+TEST(SplitOutliers, FindsPlantedOutliers)
+{
+    auto xs = gaussianWithPlantedOutliers(100000, 50, 41);
+    auto split = splitOutliers(xs, -4.0);
+    // All 50 planted 8-sigma values must be detected (plus a small
+    // natural tail).
+    EXPECT_GE(split.outlierValues.size(), 50u);
+    EXPECT_LT(split.outlierFraction(), 0.01);
+    std::size_t planted_found = 0;
+    for (float v : split.outlierValues)
+        planted_found += std::abs(v) == 0.4f ? 1 : 0;
+    EXPECT_EQ(planted_found, 50u);
+}
+
+TEST(SplitOutliers, PartitionIsExact)
+{
+    auto xs = gaussianWithPlantedOutliers(10000, 10, 43);
+    auto split = splitOutliers(xs, -4.0);
+    EXPECT_EQ(split.gValues.size() + split.outlierValues.size(),
+              xs.size());
+    // Reconstruct: outlier positions carry outlier values, the rest are
+    // the G values in order.
+    std::vector<float> rebuilt;
+    rebuilt.reserve(xs.size());
+    std::size_t gi = 0, oi = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (oi < split.outlierPositions.size()
+            && split.outlierPositions[oi] == i) {
+            rebuilt.push_back(split.outlierValues[oi]);
+            ++oi;
+        } else {
+            rebuilt.push_back(split.gValues[gi]);
+            ++gi;
+        }
+    }
+    EXPECT_EQ(rebuilt, xs);
+}
+
+TEST(SplitOutliers, PositionsAscending)
+{
+    auto xs = gaussianWithPlantedOutliers(50000, 30, 47);
+    auto split = splitOutliers(xs, -4.0);
+    EXPECT_TRUE(std::is_sorted(split.outlierPositions.begin(),
+                               split.outlierPositions.end()));
+    EXPECT_EQ(split.outlierPositions.size(), split.outlierValues.size());
+}
+
+TEST(SplitOutliers, ThresholdMonotonicity)
+{
+    auto xs = gaussianWithPlantedOutliers(50000, 30, 53);
+    auto strict = splitOutliers(xs, -6.0); // farther cut, fewer outliers
+    auto loose = splitOutliers(xs, -3.0);  // nearer cut, more outliers
+    EXPECT_LE(strict.outlierValues.size(), loose.outlierValues.size());
+}
+
+TEST(SplitOutliers, PureGaussianHasTinyOutlierFraction)
+{
+    Rng rng(59);
+    std::vector<float> xs(200000);
+    rng.fillGaussian(xs, 0.0, 0.04);
+    auto split = splitOutliers(xs, -4.0);
+    // Natural tail beyond the -4 log-probability cut is well under 1%.
+    EXPECT_LT(split.outlierFraction(), 0.005);
+    EXPECT_GT(split.gValues.size(), xs.size() * 99 / 100);
+}
+
+TEST(SplitOutliers, OutliersAreTheExtremeValues)
+{
+    auto xs = gaussianWithPlantedOutliers(20000, 20, 61);
+    auto split = splitOutliers(xs, -4.0);
+    ASSERT_FALSE(split.outlierValues.empty());
+    double max_g = 0.0;
+    for (float v : split.gValues)
+        max_g = std::max(max_g, std::abs(v - split.fit.mean()));
+    double min_o = 1e30;
+    for (float v : split.outlierValues)
+        min_o = std::min(min_o, std::abs(v - split.fit.mean()));
+    // Every outlier is farther from the mean than every G value.
+    EXPECT_GE(min_o, max_g);
+}
+
+TEST(SplitOutliers, RejectsTooFewWeights)
+{
+    std::vector<float> one{1.0f};
+    EXPECT_THROW(splitOutliers(one, -4.0), FatalError);
+}
+
+} // namespace
+} // namespace gobo

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for compressed-domain execution: QuantizedLinear must agree
+ * with the dense FP32 layer over the decoded weights (same arithmetic,
+ * different association), and QuantizedBertModel must agree with the
+ * FP32 engine running the decoded model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/qexec.hh"
+#include "model/generate.hh"
+#include "nn/encoder.hh"
+#include "task/task.hh"
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gobo {
+namespace {
+
+Tensor
+gaussianTensor(std::size_t r, std::size_t c, std::uint64_t seed,
+               double sigma = 0.05)
+{
+    Rng rng(seed);
+    std::vector<float> data(r * c);
+    rng.fillGaussian(data, 0.0, sigma);
+    return Tensor(r, c, std::move(data));
+}
+
+QuantizedLinear
+makeQL(std::size_t out, std::size_t in, unsigned bits,
+       std::uint64_t seed)
+{
+    Tensor w = gaussianTensor(out, in, seed);
+    // Plant a couple of outliers so the correction path is exercised.
+    w(0, 1) = 0.8f;
+    w(out - 1, in - 1) = -0.75f;
+    Tensor b(out);
+    Rng rng(seed + 1);
+    for (auto &v : b.flat())
+        v = static_cast<float>(rng.gaussian(0.0, 0.02));
+    GoboConfig cfg;
+    cfg.bits = bits;
+    return {quantizeTensor(w, cfg), std::move(b)};
+}
+
+TEST(QuantizedLinearTest, MatchesDecodedDenseLayer)
+{
+    auto ql = makeQL(24, 40, 3, 401);
+    Tensor x = gaussianTensor(5, 40, 402, 1.0);
+
+    Tensor w = ql.compressed().dequantize();
+    Tensor zero_bias(24);
+    QuantizedLinear ql2(ql.compressed(), zero_bias);
+    Tensor got = ql2.forward(x);
+    Tensor want = linear(x, w, zero_bias);
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    EXPECT_LT(relativeError(want, got), 1e-5);
+}
+
+TEST(QuantizedLinearTest, OutlierCorrectionsApplied)
+{
+    // Without the correction path, the planted 0.8 outlier would be
+    // replaced by a centroid (<0.3) and the first output would be off
+    // by ~0.5 * x[1].
+    auto ql = makeQL(8, 16, 3, 405);
+    Tensor x(1, 16);
+    x.fill(0.0f);
+    x(0, 1) = 1.0f;
+    Tensor y = ql.forward(x);
+    Tensor w = ql.compressed().dequantize();
+    EXPECT_EQ(w(0, 1), 0.8f);
+    // y[0] = bias[0] + w(0,1); verify the 0.8 really flowed through.
+    Tensor zero_bias(8);
+    QuantizedLinear ql2(ql.compressed(), zero_bias);
+    Tensor y2 = ql2.forward(x);
+    EXPECT_NEAR(y2(0, 0), 0.8f, 1e-6);
+}
+
+TEST(QuantizedLinearTest, OpCountsReflectCentroidScheme)
+{
+    auto ql = makeQL(64, 64, 3, 407);
+    auto ops = ql.opCounts(10);
+    auto dense = ql.denseOpCounts(10);
+    // Multiplications collapse from in (64) to 2^3 per output (plus
+    // outlier corrections).
+    EXPECT_LT(ops.multiplications, dense.multiplications / 4);
+    EXPECT_GE(ops.additions, dense.additions); // adds stay ~the same
+    std::size_t n_out = ql.compressed().outlierPositions.size();
+    EXPECT_EQ(ops.multiplications, 10u * (64u * 8u + n_out));
+}
+
+TEST(QuantizedLinearTest, RejectsBadShapes)
+{
+    auto ql = makeQL(8, 16, 3, 409);
+    Tensor wrong(2, 8);
+    EXPECT_THROW(ql.forward(wrong), FatalError);
+    Tensor w = gaussianTensor(8, 16, 411);
+    GoboConfig cfg;
+    cfg.bits = 3;
+    auto q = quantizeTensor(w, cfg);
+    Tensor bad_bias(7);
+    EXPECT_THROW(QuantizedLinear(q, bad_bias), FatalError);
+}
+
+class QexecBits : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(QexecBits, ForwardEquivalenceAcrossWidths)
+{
+    unsigned bits = GetParam();
+    auto ql = makeQL(32, 48, bits, 431 + bits);
+    Tensor zero_bias(32);
+    QuantizedLinear ql2(ql.compressed(), zero_bias);
+    Tensor x = gaussianTensor(7, 48, 433, 2.0);
+    Tensor got = ql2.forward(x);
+    Tensor want = linear(x, ql.compressed().dequantize(), zero_bias);
+    EXPECT_LT(relativeError(want, got), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QexecBits,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));
+
+TEST(QuantizedBertModelTest, MatchesDecodedModelPredictions)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel model = generateModel(cfg, 421);
+    auto spec = defaultSpec(TaskKind::MnliLike, 421);
+    spec.numExamples = 60;
+    spec.seqLen = 8;
+    Dataset data = buildTask(model, spec);
+
+    ModelQuantOptions options;
+    options.base.bits = 3;
+    options.embeddingBits = 4;
+
+    QuantizedBertModel qmodel(model, options);
+    BertModel decoded = model;
+    quantizeModelInPlace(decoded, options);
+
+    std::size_t agree = 0;
+    for (const auto &ex : data.examples) {
+        Tensor q_logits = qmodel.classify(ex.tokens);
+        auto dec_pred = predict(decoded, TaskKind::MnliLike, ex);
+        int q_label = static_cast<int>(argmax(q_logits.flat()));
+        agree += q_label == dec_pred.label ? 1 : 0;
+    }
+    // FP reassociation can flip razor-thin margins; anything beyond a
+    // stray example means the engines diverge.
+    EXPECT_GE(agree, data.examples.size() - 1);
+}
+
+TEST(QuantizedBertModelTest, EncodeMatchesDecodedHidden)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel model = generateModel(cfg, 423);
+    ModelQuantOptions options;
+    options.base.bits = 4;
+
+    QuantizedBertModel qmodel(model, options);
+    BertModel decoded = model;
+    quantizeModelInPlace(decoded, options);
+
+    std::vector<std::int32_t> ids{3, 1, 4, 1, 5, 9};
+    Tensor a = qmodel.encode(ids);
+    Tensor b = encodeSequence(decoded, ids);
+    EXPECT_LT(relativeError(b, a), 1e-4);
+}
+
+TEST(QuantizedBertModelTest, OpCountsAndFootprint)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel model = generateModel(cfg, 425);
+    ModelQuantOptions options;
+    options.base.bits = 3;
+    QuantizedBertModel qmodel(model, options);
+
+    auto ops = qmodel.opCounts(16);
+    auto dense = qmodel.denseOpCounts(16);
+    EXPECT_LT(ops.multiplications, dense.multiplications / 4);
+    EXPECT_GT(ops.multiplications, 0u);
+
+    // Compressed FC bytes beat FP32 by ~10x at 3 bits.
+    std::size_t fp32 = cfg.fcWeightParams() * sizeof(float);
+    EXPECT_GT(static_cast<double>(fp32)
+                  / static_cast<double>(qmodel.compressedWeightBytes()),
+              9.0);
+}
+
+TEST(QuantizedBertModelTest, MixedPrecisionBitsRespected)
+{
+    auto cfg = miniConfig(ModelFamily::RoBerta);
+    BertModel model = generateModel(cfg, 427);
+    ModelQuantOptions options;
+    options.base.bits = 3;
+    options.bitsFor = mixedPolicy(6, 3, 4);
+    QuantizedBertModel qmodel(model, options);
+    std::vector<std::int32_t> ids{1, 2, 3, 4};
+    Tensor h = qmodel.encode(ids);
+    for (float v : h.flat())
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+} // namespace
+} // namespace gobo

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the compressed tensor container and its codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/qtensor.hh"
+#include "core/quantizer.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gobo {
+namespace {
+
+Tensor
+gaussianTensor(std::size_t r, std::size_t c, std::uint64_t seed,
+               double sigma = 0.05)
+{
+    Rng rng(seed);
+    Tensor t(r, c);
+    std::vector<float> data(r * c);
+    rng.fillGaussian(data, 0.0, sigma);
+    return Tensor(r, c, std::move(data));
+}
+
+QuantizedTensor
+quantized(std::size_t r, std::size_t c, unsigned bits, std::uint64_t seed)
+{
+    GoboConfig cfg;
+    cfg.bits = bits;
+    return quantizeTensor(gaussianTensor(r, c, seed), cfg);
+}
+
+TEST(QuantizedTensorTest, DequantizePreservesShape)
+{
+    auto q = quantized(17, 23, 3, 1);
+    Tensor t = q.dequantize();
+    EXPECT_EQ(t.rows(), 17u);
+    EXPECT_EQ(t.cols(), 23u);
+}
+
+TEST(QuantizedTensorTest, DequantizedValuesComeFromTableOrOutliers)
+{
+    auto q = quantized(32, 32, 3, 2);
+    Tensor t = q.dequantize();
+    std::size_t oi = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        bool is_outlier = oi < q.outlierPositions.size()
+                          && q.outlierPositions[oi] == i;
+        float v = t.flat()[i];
+        if (is_outlier) {
+            EXPECT_EQ(v, q.outlierValues[oi]);
+            ++oi;
+        } else {
+            bool in_table = false;
+            for (float c : q.centroids)
+                in_table |= c == v;
+            EXPECT_TRUE(in_table) << "value " << v << " at " << i;
+        }
+    }
+}
+
+TEST(QuantizedTensorTest, PayloadAccounting)
+{
+    auto q = quantized(64, 64, 3, 3);
+    std::size_t expected = 64 * 64 * 3 + q.centroids.size() * 32
+                           + q.outlierPositions.size() * 64;
+    EXPECT_EQ(q.payloadBits(), expected);
+    EXPECT_EQ(q.payloadBytes(), (expected + 7) / 8);
+    EXPECT_EQ(q.originalBytes(), 64u * 64u * 4u);
+    EXPECT_GT(q.compressionRatio(), 8.0); // ~32/3 minus overheads
+    EXPECT_LT(q.compressionRatio(), 32.0 / 3.0 + 0.1);
+}
+
+TEST(QuantizedTensorTest, SaveLoadRoundtrip)
+{
+    auto q = quantized(31, 17, 4, 4);
+    std::stringstream ss;
+    q.save(ss);
+    auto back = QuantizedTensor::load(ss);
+    EXPECT_EQ(back.bits, q.bits);
+    EXPECT_EQ(back.rows, q.rows);
+    EXPECT_EQ(back.cols, q.cols);
+    EXPECT_EQ(back.centroids, q.centroids);
+    EXPECT_EQ(back.packedIndexes, q.packedIndexes);
+    EXPECT_EQ(back.outlierPositions, q.outlierPositions);
+    EXPECT_EQ(back.outlierValues, q.outlierValues);
+    // And the decoded tensors agree exactly.
+    Tensor a = q.dequantize();
+    Tensor b = back.dequantize();
+    EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(QuantizedTensorTest, LoadRejectsBadMagic)
+{
+    std::stringstream ss;
+    ss.write("NOPE", 4);
+    ss.write("\0\0\0\0\0\0\0\0", 8);
+    EXPECT_THROW(QuantizedTensor::load(ss), FatalError);
+}
+
+TEST(QuantizedTensorTest, LoadRejectsTruncation)
+{
+    auto q = quantized(16, 16, 3, 5);
+    std::stringstream ss;
+    q.save(ss);
+    std::string full = ss.str();
+    for (std::size_t cut : {std::size_t{4}, full.size() / 2,
+                            full.size() - 1}) {
+        std::stringstream trunc(full.substr(0, cut));
+        EXPECT_THROW(QuantizedTensor::load(trunc), FatalError)
+            << "cut at " << cut;
+    }
+}
+
+TEST(QuantizedTensorTest, CheckCatchesCorruption)
+{
+    auto q = quantized(8, 8, 3, 6);
+    auto bad = q;
+    bad.bits = 0;
+    EXPECT_THROW(bad.check(), FatalError);
+
+    bad = q;
+    bad.centroids.clear();
+    EXPECT_THROW(bad.check(), FatalError);
+
+    bad = q;
+    std::reverse(bad.centroids.begin(), bad.centroids.end());
+    if (bad.centroids.size() > 1) {
+        EXPECT_THROW(bad.check(), FatalError);
+    }
+
+    bad = q;
+    bad.packedIndexes.pop_back();
+    EXPECT_THROW(bad.check(), FatalError);
+
+    bad = q;
+    bad.outlierPositions.push_back(1u << 30);
+    bad.outlierValues.push_back(1.0f);
+    EXPECT_THROW(bad.check(), FatalError);
+
+    bad = q;
+    bad.outlierValues.push_back(1.0f);
+    EXPECT_THROW(bad.check(), FatalError);
+}
+
+TEST(QuantizedTensorTest, OutlierFraction)
+{
+    auto q = quantized(64, 64, 3, 7);
+    EXPECT_NEAR(q.outlierFraction(),
+                static_cast<double>(q.outlierPositions.size()) / 4096.0,
+                1e-12);
+}
+
+} // namespace
+} // namespace gobo

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the deterministic random source.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace gobo {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16 && !any_diff; ++i)
+        any_diff = a.uniform() != b.uniform();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(u, -2.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(Rng, IntegerInclusiveBounds)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.integer(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    RunningStats rs;
+    for (int i = 0; i < 50000; ++i)
+        rs.add(rng.gaussian(2.0, 3.0));
+    EXPECT_NEAR(rs.mean(), 2.0, 0.1);
+    EXPECT_NEAR(rs.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, FillGaussianMoments)
+{
+    Rng rng(15);
+    std::vector<float> xs(50000);
+    rng.fillGaussian(xs, -1.0, 0.5);
+    EXPECT_NEAR(mean(xs), -1.0, 0.02);
+    EXPECT_NEAR(stddev(xs), 0.5, 0.02);
+}
+
+TEST(Rng, ForkedStreamsIndependent)
+{
+    Rng parent(21);
+    Rng child1 = parent.fork();
+    Rng child2 = parent.fork();
+    // Children must differ from each other.
+    bool differ = false;
+    for (int i = 0; i < 8 && !differ; ++i)
+        differ = child1.uniform() != child2.uniform();
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(23);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto original = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+} // namespace
+} // namespace gobo

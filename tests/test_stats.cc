@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit and property tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace gobo {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    std::vector<float> xs{1.0f, 2.0f, 3.0f, 4.0f, 10.0f};
+    RunningStats rs;
+    rs.addAll(xs);
+    EXPECT_EQ(rs.count(), 5u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+    // Population variance: mean of squared deviations.
+    double var = (9.0 + 4.0 + 1.0 + 0.0 + 36.0) / 5.0;
+    EXPECT_NEAR(rs.variance(), var, 1e-12);
+    EXPECT_NEAR(rs.stddev(), std::sqrt(var), 1e-12);
+    EXPECT_EQ(rs.min(), 1.0);
+    EXPECT_EQ(rs.max(), 10.0);
+}
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_EQ(rs.mean(), 0.0);
+    EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, StableOnLargeOffset)
+{
+    // Welford must survive a large common offset where naive
+    // sum-of-squares cancels catastrophically.
+    RunningStats rs;
+    for (int i = 0; i < 10000; ++i)
+        rs.add(1e9 + (i % 2 ? 0.5 : -0.5));
+    EXPECT_NEAR(rs.variance(), 0.25, 1e-6);
+}
+
+TEST(Mean, SpanHelpers)
+{
+    std::vector<float> xs{2.0f, 4.0f, 6.0f};
+    EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+    EXPECT_NEAR(stddev(xs), std::sqrt(8.0 / 3.0), 1e-6);
+    EXPECT_EQ(mean(std::vector<float>{}), 0.0);
+}
+
+TEST(Distances, L1AndL2)
+{
+    std::vector<float> xs{1.0f, 3.0f, 5.0f};
+    EXPECT_DOUBLE_EQ(l1Distance(xs, 3.0f), 4.0);
+    EXPECT_DOUBLE_EQ(l2Distance(xs, 3.0f), 8.0);
+    EXPECT_DOUBLE_EQ(l1Distance(xs, 0.0f), 9.0);
+}
+
+TEST(Quantile, InterpolatesSortedValues)
+{
+    std::vector<float> xs{4.0f, 1.0f, 3.0f, 2.0f};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+    EXPECT_THROW(quantile(xs, 1.5), FatalError);
+    EXPECT_THROW(quantile(std::vector<float>{}, 0.5), FatalError);
+}
+
+TEST(HistogramTest, CountsAndClamping)
+{
+    std::vector<float> xs{-10.0f, 0.1f, 0.2f, 0.9f, 10.0f};
+    auto h = histogram(xs, 0.0, 1.0, 4);
+    ASSERT_EQ(h.counts.size(), 4u);
+    // -10 clamps into bin 0; 10 clamps into bin 3.
+    EXPECT_EQ(h.counts[0], 3u); // -10 (clamped), 0.1, 0.2
+    EXPECT_EQ(h.counts[1], 0u);
+    EXPECT_EQ(h.counts[3], 2u); // 0.9 and 10 (clamped)
+    std::size_t total = 0;
+    for (auto c : h.counts)
+        total += c;
+    EXPECT_EQ(total, xs.size());
+    EXPECT_NEAR(h.binWidth(), 0.25, 1e-12);
+    EXPECT_NEAR(h.binCenter(0), 0.125, 1e-12);
+    EXPECT_GE(h.maxCount(), 1u);
+}
+
+TEST(HistogramTest, RejectsBadRanges)
+{
+    std::vector<float> xs{1.0f};
+    EXPECT_THROW(histogram(xs, 1.0, 0.0, 4), FatalError);
+    EXPECT_THROW(histogram(xs, 0.0, 1.0, 0), FatalError);
+}
+
+TEST(Pearson, PerfectAndInverse)
+{
+    std::vector<double> a{1, 2, 3, 4};
+    std::vector<double> b{2, 4, 6, 8};
+    std::vector<double> c{8, 6, 4, 2};
+    EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+    EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero)
+{
+    std::vector<double> a{1, 2, 3};
+    std::vector<double> b{5, 5, 5};
+    EXPECT_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Pearson, SizeMismatchIsFatal)
+{
+    std::vector<double> a{1, 2, 3};
+    std::vector<double> b{1, 2};
+    EXPECT_THROW(pearson(a, b), FatalError);
+}
+
+TEST(AverageRanks, HandlesTies)
+{
+    std::vector<double> xs{10, 20, 20, 30};
+    auto r = averageRanks(xs);
+    ASSERT_EQ(r.size(), 4u);
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+    EXPECT_DOUBLE_EQ(r[1], 2.5);
+    EXPECT_DOUBLE_EQ(r[2], 2.5);
+    EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Spearman, InvariantUnderMonotoneTransform)
+{
+    std::mt19937_64 eng(99);
+    std::normal_distribution<double> n(0, 1);
+    std::vector<double> a(200), b(200), bt(200);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = n(eng);
+        b[i] = a[i] + 0.5 * n(eng);
+        bt[i] = std::exp(b[i]); // strictly monotone transform
+    }
+    EXPECT_NEAR(spearman(a, b), spearman(a, bt), 1e-12);
+}
+
+TEST(Spearman, PerfectRankAgreement)
+{
+    std::vector<double> a{1, 5, 3, 4};
+    std::vector<double> b{10, 500, 30, 40};
+    EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, UncorrelatedNearZero)
+{
+    std::mt19937_64 eng(5);
+    std::normal_distribution<double> n(0, 1);
+    std::vector<double> a(5000), b(5000);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = n(eng);
+        b[i] = n(eng);
+    }
+    EXPECT_NEAR(spearman(a, b), 0.0, 0.05);
+}
+
+/** Property sweep: spearman in [-1, 1] and symmetric for noise mixes. */
+class SpearmanNoise : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SpearmanNoise, WithinBoundsAndSymmetric)
+{
+    double noise = GetParam();
+    std::mt19937_64 eng(17);
+    std::normal_distribution<double> n(0, 1);
+    std::vector<double> a(500), b(500);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = n(eng);
+        b[i] = a[i] + noise * n(eng);
+    }
+    double s = spearman(a, b);
+    EXPECT_GE(s, -1.0);
+    EXPECT_LE(s, 1.0);
+    EXPECT_NEAR(s, spearman(b, a), 1e-12);
+    if (noise < 0.1) {
+        EXPECT_GT(s, 0.9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, SpearmanNoise,
+                         ::testing::Values(0.0, 0.05, 0.2, 0.5, 1.0, 3.0));
+
+} // namespace
+} // namespace gobo

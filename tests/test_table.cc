@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tests for the console table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace gobo {
+namespace {
+
+TEST(ConsoleTable, AlignsColumns)
+{
+    ConsoleTable t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "23"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Every line has the same or shorter width; the rule line exists.
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(ConsoleTable, RejectsWrongArity)
+{
+    ConsoleTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+    EXPECT_THROW(t.addRow({"1", "2", "3"}), FatalError);
+}
+
+TEST(ConsoleTable, RejectsEmptyHeader)
+{
+    EXPECT_THROW(ConsoleTable({}), FatalError);
+}
+
+TEST(ConsoleTable, NumberFormatting)
+{
+    EXPECT_EQ(ConsoleTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(ConsoleTable::num(10.0, 0), "10");
+    EXPECT_EQ(ConsoleTable::pct(99.956, 2), "99.96%");
+    EXPECT_EQ(ConsoleTable::pct(0.5, 1), "0.5%");
+}
+
+} // namespace
+} // namespace gobo

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the synthetic task generators and the evaluation harness.
+ * These use a small DistilBERT-mini and few examples to stay fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/quantizer.hh"
+#include "model/generate.hh"
+#include "task/task.hh"
+#include "util/logging.hh"
+
+namespace gobo {
+namespace {
+
+TaskSpec
+smallSpec(TaskKind kind, std::size_t n = 80)
+{
+    auto spec = defaultSpec(kind, 7);
+    spec.numExamples = n;
+    spec.seqLen = 8;
+    return spec;
+}
+
+TEST(TaskNames, Printable)
+{
+    EXPECT_STREQ(taskName(TaskKind::MnliLike), "MNLI");
+    EXPECT_STREQ(taskName(TaskKind::StsbLike), "STS-B");
+    EXPECT_STREQ(taskName(TaskKind::SquadLike), "SQuAD v1.1");
+    EXPECT_STREQ(metricName(TaskKind::MnliLike), "Accuracy (m)");
+    EXPECT_STREQ(metricName(TaskKind::StsbLike), "Spearman");
+    EXPECT_STREQ(metricName(TaskKind::SquadLike), "F1 Score");
+}
+
+TEST(DefaultSpec, PaperBaselines)
+{
+    EXPECT_NEAR(defaultSpec(TaskKind::MnliLike, 1).targetBaseline,
+                0.8445, 1e-9);
+    EXPECT_NEAR(defaultSpec(TaskKind::StsbLike, 1).targetBaseline,
+                0.8833, 1e-9);
+    EXPECT_NEAR(defaultSpec(TaskKind::SquadLike, 1).targetBaseline,
+                0.9195, 1e-9);
+}
+
+TEST(BuildTask, MnliDatasetWellFormed)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel m = generateModel(cfg, 51);
+    auto spec = smallSpec(TaskKind::MnliLike);
+    Dataset data = buildTask(m, spec);
+    EXPECT_EQ(data.kind, TaskKind::MnliLike);
+    ASSERT_EQ(data.examples.size(), spec.numExamples);
+    EXPECT_EQ(m.headW.rows(), 3u);
+    for (const auto &ex : data.examples) {
+        EXPECT_EQ(ex.tokens.size(), spec.seqLen);
+        EXPECT_GE(ex.label, 0);
+        EXPECT_LT(ex.label, 3);
+        for (auto t : ex.tokens) {
+            EXPECT_GE(t, 0);
+            EXPECT_LT(static_cast<std::size_t>(t), cfg.vocabSize);
+        }
+    }
+}
+
+TEST(BuildTask, MnliBaselineIsExactByConstruction)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel m = generateModel(cfg, 53);
+    auto spec = smallSpec(TaskKind::MnliLike, 200);
+    Dataset data = buildTask(m, spec);
+    double baseline = evaluate(m, data);
+    // Exactly round(p*N) labels were flipped.
+    double expected = 1.0
+                      - std::llround((1.0 - spec.targetBaseline) * 200)
+                            / 200.0;
+    EXPECT_NEAR(baseline, expected, 1e-9);
+}
+
+TEST(BuildTask, StsbBaselineNearTarget)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel m = generateModel(cfg, 57);
+    auto spec = smallSpec(TaskKind::StsbLike, 300);
+    Dataset data = buildTask(m, spec);
+    EXPECT_EQ(m.headW.rows(), 1u);
+    double baseline = evaluate(m, data);
+    EXPECT_NEAR(baseline, spec.targetBaseline, 0.05);
+}
+
+TEST(BuildTask, SquadBaselineNearTarget)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel m = generateModel(cfg, 59);
+    auto spec = smallSpec(TaskKind::SquadLike, 300);
+    Dataset data = buildTask(m, spec);
+    EXPECT_EQ(m.headW.rows(), 2u);
+    double baseline = evaluate(m, data);
+    EXPECT_NEAR(baseline, spec.targetBaseline, 0.04);
+    for (const auto &ex : data.examples) {
+        EXPECT_LE(ex.spanStart, ex.spanEnd);
+        EXPECT_LT(ex.spanEnd, spec.seqLen);
+    }
+}
+
+TEST(BuildTask, DeterministicInSeed)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel m1 = generateModel(cfg, 61);
+    BertModel m2 = generateModel(cfg, 61);
+    auto spec = smallSpec(TaskKind::MnliLike);
+    Dataset d1 = buildTask(m1, spec);
+    Dataset d2 = buildTask(m2, spec);
+    ASSERT_EQ(d1.examples.size(), d2.examples.size());
+    for (std::size_t i = 0; i < d1.examples.size(); ++i) {
+        EXPECT_EQ(d1.examples[i].tokens, d2.examples[i].tokens);
+        EXPECT_EQ(d1.examples[i].label, d2.examples[i].label);
+    }
+    EXPECT_EQ(m1.headW.data(), m2.headW.data());
+}
+
+TEST(BuildTask, MarginFilterKeepsConfidentExamples)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel strict_model = generateModel(cfg, 63);
+    BertModel loose_model = generateModel(cfg, 63);
+
+    auto strict = smallSpec(TaskKind::MnliLike, 120);
+    strict.marginDropFraction = 0.6;
+    auto loose = smallSpec(TaskKind::MnliLike, 120);
+    loose.marginDropFraction = 0.0;
+
+    Dataset ds = buildTask(strict_model, strict);
+    Dataset dl = buildTask(loose_model, loose);
+
+    auto min_margin = [&](BertModel &m, const Dataset &d, TaskKind k) {
+        double mn = 1e300;
+        for (const auto &ex : d.examples)
+            mn = std::min(mn, predict(m, k, ex).margin);
+        return mn;
+    };
+    double strict_min = min_margin(strict_model, ds, TaskKind::MnliLike);
+    double loose_min = min_margin(loose_model, dl, TaskKind::MnliLike);
+    EXPECT_GT(strict_min, loose_min);
+}
+
+TEST(BuildTask, RejectsBadSpecs)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel m = generateModel(cfg, 65);
+    auto spec = smallSpec(TaskKind::MnliLike);
+    spec.numExamples = 0;
+    EXPECT_THROW(buildTask(m, spec), FatalError);
+    spec = smallSpec(TaskKind::MnliLike);
+    spec.seqLen = cfg.maxPosition + 1;
+    EXPECT_THROW(buildTask(m, spec), FatalError);
+    spec = smallSpec(TaskKind::MnliLike);
+    spec.marginDropFraction = 1.0;
+    EXPECT_THROW(buildTask(m, spec), FatalError);
+    spec = smallSpec(TaskKind::MnliLike);
+    spec.targetBaseline = 0.0;
+    EXPECT_THROW(buildTask(m, spec), FatalError);
+}
+
+TEST(Predict, MarginNonNegative)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel m = generateModel(cfg, 67);
+    auto spec = smallSpec(TaskKind::MnliLike, 20);
+    Dataset data = buildTask(m, spec);
+    for (const auto &ex : data.examples) {
+        auto p = predict(m, TaskKind::MnliLike, ex);
+        EXPECT_GE(p.margin, 0.0);
+    }
+}
+
+TEST(Evaluate, QuantizationDegradesGracefully)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel m = generateModel(cfg, 69);
+    auto spec = smallSpec(TaskKind::MnliLike, 150);
+    Dataset data = buildTask(m, spec);
+    double baseline = evaluate(m, data);
+
+    // 6-bit GOBO should be essentially lossless on this small model;
+    // 1-bit should hurt badly.
+    BertModel fine = m;
+    ModelQuantOptions opt6;
+    opt6.base.bits = 6;
+    quantizeModelInPlace(fine, opt6);
+    double fine_score = evaluate(fine, data);
+    EXPECT_NEAR(fine_score, baseline, 0.02);
+
+    BertModel coarse = m;
+    ModelQuantOptions opt1;
+    opt1.base.bits = 1;
+    quantizeModelInPlace(coarse, opt1);
+    double coarse_score = evaluate(coarse, data);
+    EXPECT_LT(coarse_score, baseline - 0.03);
+}
+
+TEST(Evaluate, EmptyDatasetIsFatal)
+{
+    auto cfg = miniConfig(ModelFamily::DistilBert);
+    BertModel m = generateModel(cfg, 71);
+    Dataset empty;
+    EXPECT_THROW(evaluate(m, empty), FatalError);
+}
+
+} // namespace
+} // namespace gobo

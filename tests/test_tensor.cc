@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the dense tensor container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hh"
+#include "util/logging.hh"
+
+namespace gobo {
+namespace {
+
+TEST(TensorTest, EmptyByDefault)
+{
+    Tensor t;
+    EXPECT_EQ(t.rank(), 0u);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TensorTest, Rank1Construction)
+{
+    Tensor t(5);
+    EXPECT_EQ(t.rank(), 1u);
+    EXPECT_EQ(t.size(), 5u);
+    EXPECT_EQ(t.dim(0), 5u);
+    EXPECT_EQ(t.rows(), 5u);
+    EXPECT_EQ(t.cols(), 1u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(t(i), 0.0f);
+}
+
+TEST(TensorTest, Rank2Construction)
+{
+    Tensor t(3, 4);
+    EXPECT_EQ(t.rank(), 2u);
+    EXPECT_EQ(t.size(), 12u);
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 4u);
+    t(1, 2) = 7.0f;
+    EXPECT_EQ(t(1, 2), 7.0f);
+    // Row-major layout: flat index 1*4+2.
+    EXPECT_EQ(t.flat()[6], 7.0f);
+}
+
+TEST(TensorTest, AdoptData)
+{
+    Tensor t(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+    EXPECT_EQ(t(0, 0), 1.0f);
+    EXPECT_EQ(t(1, 1), 4.0f);
+    EXPECT_THROW(Tensor(2, 2, {1.0f, 2.0f}), FatalError);
+}
+
+TEST(TensorTest, RowSpans)
+{
+    Tensor t(2, 3);
+    t(1, 0) = 5.0f;
+    auto row = t.row(1);
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_EQ(row[0], 5.0f);
+    row[2] = 9.0f;
+    EXPECT_EQ(t(1, 2), 9.0f);
+    EXPECT_THROW(t.row(2), FatalError);
+    Tensor v(4);
+    EXPECT_THROW(v.row(0), FatalError);
+}
+
+TEST(TensorTest, Fill)
+{
+    Tensor t(2, 2);
+    t.fill(3.5f);
+    for (float v : t.flat())
+        EXPECT_EQ(v, 3.5f);
+}
+
+TEST(TensorTest, DimBoundsChecked)
+{
+    Tensor t(2, 2);
+    EXPECT_EQ(t.dim(1), 2u);
+    EXPECT_THROW(t.dim(2), FatalError);
+}
+
+TEST(TensorTest, CopySemantics)
+{
+    Tensor a(2, 2);
+    a(0, 0) = 1.0f;
+    Tensor b = a;
+    b(0, 0) = 2.0f;
+    EXPECT_EQ(a(0, 0), 1.0f);
+    EXPECT_EQ(b(0, 0), 2.0f);
+}
+
+} // namespace
+} // namespace gobo

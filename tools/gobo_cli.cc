@@ -1,0 +1,275 @@
+/**
+ * @file
+ * gobo — command-line front end for the library.
+ *
+ *   gobo generate  --family bert-base [--scale mini|full] [--seed N]
+ *                  --out model.gobm
+ *   gobo compress  model.gobm --out model.gobc [--bits B]
+ *                  [--embedding-bits E] [--method gobo|kmeans|linear]
+ *                  [--threshold T]
+ *   gobo decompress model.gobc --out model.gobm
+ *   gobo inspect   model.gobm | model.gobc
+ *
+ * `generate` writes a synthetic FP32 checkpoint (see model/generate);
+ * `compress` produces the GOBC container and prints the per-layer
+ * accounting; `decompress` decodes back to a plain FP32 model any
+ * engine can consume; `inspect` prints what a file contains.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/container.hh"
+#include "core/quantizer.hh"
+#include "model/footprint.hh"
+#include "model/generate.hh"
+#include "model/serialize.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+
+namespace {
+
+using namespace gobo;
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "error: %s\n\n", msg);
+    std::fputs(
+        "usage:\n"
+        "  gobo generate  --family F [--scale mini|full] [--seed N]"
+        " --out PATH\n"
+        "  gobo compress  IN.gobm --out OUT.gobc [--bits B]"
+        " [--embedding-bits E]\n"
+        "                 [--method gobo|kmeans|linear]"
+        " [--threshold T]\n"
+        "  gobo decompress IN.gobc --out OUT.gobm\n"
+        "  gobo inspect   FILE\n"
+        "\nfamilies: bert-base bert-large distilbert roberta"
+        " roberta-large\n",
+        stderr);
+    std::exit(2);
+}
+
+/** Flat flag parser: positional args plus --key value pairs. */
+struct Args
+{
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> flags;
+
+    static Args
+    parse(int argc, char **argv, int first)
+    {
+        Args a;
+        for (int i = first; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0) {
+                if (i + 1 >= argc)
+                    usage(("missing value for " + arg).c_str());
+                a.flags[arg.substr(2)] = argv[++i];
+            } else {
+                a.positional.push_back(arg);
+            }
+        }
+        return a;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : it->second;
+    }
+};
+
+ModelFamily
+parseFamily(const std::string &name)
+{
+    if (name == "bert-base")
+        return ModelFamily::BertBase;
+    if (name == "bert-large")
+        return ModelFamily::BertLarge;
+    if (name == "distilbert")
+        return ModelFamily::DistilBert;
+    if (name == "roberta")
+        return ModelFamily::RoBerta;
+    if (name == "roberta-large")
+        return ModelFamily::RoBertaLarge;
+    usage(("unknown family: " + name).c_str());
+}
+
+CentroidMethod
+parseMethod(const std::string &name)
+{
+    if (name == "gobo")
+        return CentroidMethod::Gobo;
+    if (name == "kmeans")
+        return CentroidMethod::KMeans;
+    if (name == "linear")
+        return CentroidMethod::Linear;
+    usage(("unknown method: " + name).c_str());
+}
+
+int
+cmdGenerate(const Args &args)
+{
+    auto family = parseFamily(args.get("family", ""));
+    std::string scale = args.get("scale", "mini");
+    auto seed = std::strtoull(args.get("seed", "42").c_str(), nullptr,
+                              10);
+    std::string out = args.get("out", "");
+    if (out.empty())
+        usage("generate needs --out");
+
+    ModelConfig cfg = scale == "full" ? fullConfig(family)
+                                      : miniConfig(family);
+    std::printf("generating %s (%zu encoders, hidden %zu, seed %llu)"
+                "...\n",
+                cfg.name.c_str(), cfg.numLayers, cfg.hidden,
+                static_cast<unsigned long long>(seed));
+    WallTimer timer;
+    BertModel model = generateModel(cfg, seed);
+    saveModel(out, model);
+    std::printf("wrote %s (%.2f MiB) in %.1f s\n", out.c_str(),
+                toMiB(std::filesystem::file_size(out)), timer.seconds());
+    return 0;
+}
+
+int
+cmdCompress(const Args &args)
+{
+    if (args.positional.empty())
+        usage("compress needs an input model");
+    std::string in = args.positional[0];
+    std::string out = args.get("out", "");
+    if (out.empty())
+        usage("compress needs --out");
+
+    ModelQuantOptions options;
+    options.base.bits = static_cast<unsigned>(
+        std::stoul(args.get("bits", "3")));
+    options.embeddingBits = static_cast<unsigned>(
+        std::stoul(args.get("embedding-bits", "4")));
+    options.base.method = parseMethod(args.get("method", "gobo"));
+    options.base.outlierThreshold = std::stod(
+        args.get("threshold", "-4"));
+    options.threads = std::stoul(args.get("threads", "1"));
+
+    BertModel model = loadModel(in);
+    WallTimer timer;
+    auto report = saveCompressedModel(out, model, options);
+    double secs = timer.seconds();
+
+    ConsoleTable t({"Layer", "Bits", "Outliers", "KiB", "Iters"});
+    for (const auto &l : report.layers)
+        t.addRow({l.name, std::to_string(l.bits),
+                  ConsoleTable::pct(100.0 * l.stats.outlierFraction, 3),
+                  ConsoleTable::num(
+                      static_cast<double>(l.payloadBytes) / 1024.0, 1),
+                  std::to_string(l.stats.iterations)});
+    t.print(std::cout);
+
+    std::printf("\n%s -> %s in %.2f s\n", in.c_str(), out.c_str(), secs);
+    std::printf("weights:    %.2f -> %.2f MiB (%.2fx)\n",
+                toMiB(report.weightOriginalBytes),
+                toMiB(report.weightPayloadBytes),
+                report.weightCompressionRatio());
+    std::printf("embeddings: %.2f -> %.2f MiB (%.2fx)\n",
+                toMiB(report.embeddingOriginalBytes),
+                toMiB(report.embeddingPayloadBytes),
+                report.embeddingCompressionRatio());
+    std::printf("total:      %.2fx  (file: %.2f MiB)\n",
+                report.totalCompressionRatio(),
+                toMiB(std::filesystem::file_size(out)));
+    return 0;
+}
+
+int
+cmdDecompress(const Args &args)
+{
+    if (args.positional.empty())
+        usage("decompress needs an input container");
+    std::string in = args.positional[0];
+    std::string out = args.get("out", "");
+    if (out.empty())
+        usage("decompress needs --out");
+    BertModel model = loadCompressedModel(in);
+    saveModel(out, model);
+    std::printf("decoded %s -> %s (%.2f MiB FP32)\n", in.c_str(),
+                out.c_str(), toMiB(std::filesystem::file_size(out)));
+    return 0;
+}
+
+int
+cmdInspect(const Args &args)
+{
+    if (args.positional.empty())
+        usage("inspect needs a file");
+    std::string path = args.positional[0];
+    std::ifstream is(path, std::ios::binary);
+    fatalIf(!is, "cannot open ", path);
+    char magic[5] = {};
+    is.read(magic, 4);
+    fatalIf(!is, "cannot read ", path);
+    is.close();
+
+    // Magic words are written as little-endian u32, so the bytes on
+    // disk read "MBOG" (FP32 model) or "CBOG" (compressed container).
+    bool is_container = std::memcmp(magic, "CBOG", 4) == 0;
+    bool is_model = std::memcmp(magic, "MBOG", 4) == 0;
+    fatalIf(!is_container && !is_model, path,
+            " is neither a GOBM model nor a GOBC container");
+
+    BertModel model = is_container ? loadCompressedModel(path)
+                                   : loadModel(path);
+    const auto &cfg = model.config();
+    std::printf("%s: %s (%s)\n", path.c_str(),
+                is_container ? "GOBC compressed container"
+                             : "GOBM FP32 model",
+                cfg.name.c_str());
+    std::printf("  encoders %zu, hidden %zu, intermediate %zu, heads "
+                "%zu\n",
+                cfg.numLayers, cfg.hidden, cfg.intermediate,
+                cfg.numHeads);
+    std::printf("  vocab %zu, max position %zu, head outputs %zu\n",
+                cfg.vocabSize, cfg.maxPosition, model.headW.rows());
+    std::printf("  FC layers %zu (%zu weight params), parameters "
+                "%zu\n",
+                cfg.numFcLayers(), cfg.fcWeightParams(),
+                model.parameterCount());
+    std::printf("  file size %.2f MiB\n",
+                toMiB(std::filesystem::file_size(path)));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    std::string cmd = argv[1];
+    Args args = Args::parse(argc, argv, 2);
+    try {
+        if (cmd == "generate")
+            return cmdGenerate(args);
+        if (cmd == "compress")
+            return cmdCompress(args);
+        if (cmd == "decompress")
+            return cmdDecompress(args);
+        if (cmd == "inspect")
+            return cmdInspect(args);
+        usage(("unknown command: " + cmd).c_str());
+    } catch (const gobo::FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+}
