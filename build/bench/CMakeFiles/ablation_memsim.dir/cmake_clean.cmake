@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memsim.dir/ablation_memsim.cc.o"
+  "CMakeFiles/ablation_memsim.dir/ablation_memsim.cc.o.d"
+  "ablation_memsim"
+  "ablation_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

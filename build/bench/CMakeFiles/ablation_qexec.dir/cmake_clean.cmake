@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qexec.dir/ablation_qexec.cc.o"
+  "CMakeFiles/ablation_qexec.dir/ablation_qexec.cc.o.d"
+  "ablation_qexec"
+  "ablation_qexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_weight_distribution.dir/fig1b_weight_distribution.cc.o"
+  "CMakeFiles/fig1b_weight_distribution.dir/fig1b_weight_distribution.cc.o.d"
+  "fig1b_weight_distribution"
+  "fig1b_weight_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_weight_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

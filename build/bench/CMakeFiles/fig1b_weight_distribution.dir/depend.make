@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1b_weight_distribution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1c_outlier_scatter.dir/fig1c_outlier_scatter.cc.o"
+  "CMakeFiles/fig1c_outlier_scatter.dir/fig1c_outlier_scatter.cc.o.d"
+  "fig1c_outlier_scatter"
+  "fig1c_outlier_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1c_outlier_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

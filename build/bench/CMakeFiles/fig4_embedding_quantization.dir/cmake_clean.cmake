@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_embedding_quantization.dir/fig4_embedding_quantization.cc.o"
+  "CMakeFiles/fig4_embedding_quantization.dir/fig4_embedding_quantization.cc.o.d"
+  "fig4_embedding_quantization"
+  "fig4_embedding_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_embedding_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_quantizer.dir/micro_quantizer.cc.o"
+  "CMakeFiles/micro_quantizer.dir/micro_quantizer.cc.o.d"
+  "micro_quantizer"
+  "micro_quantizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_quantizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_footprint.dir/table2_footprint.cc.o"
+  "CMakeFiles/table2_footprint.dir/table2_footprint.cc.o.d"
+  "table2_footprint"
+  "table2_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bertbase_mnli.dir/table3_bertbase_mnli.cc.o"
+  "CMakeFiles/table3_bertbase_mnli.dir/table3_bertbase_mnli.cc.o.d"
+  "table3_bertbase_mnli"
+  "table3_bertbase_mnli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bertbase_mnli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

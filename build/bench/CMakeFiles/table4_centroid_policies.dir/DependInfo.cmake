@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_centroid_policies.cc" "bench/CMakeFiles/table4_centroid_policies.dir/table4_centroid_policies.cc.o" "gcc" "bench/CMakeFiles/table4_centroid_policies.dir/table4_centroid_policies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gobo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gobo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/gobo_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gobo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/gobo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/gobo_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gobo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gobo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

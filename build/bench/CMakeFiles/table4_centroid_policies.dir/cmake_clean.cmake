@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_centroid_policies.dir/table4_centroid_policies.cc.o"
+  "CMakeFiles/table4_centroid_policies.dir/table4_centroid_policies.cc.o.d"
+  "table4_centroid_policies"
+  "table4_centroid_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_centroid_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_distilbert.dir/table5_distilbert.cc.o"
+  "CMakeFiles/table5_distilbert.dir/table5_distilbert.cc.o.d"
+  "table5_distilbert"
+  "table5_distilbert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_distilbert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

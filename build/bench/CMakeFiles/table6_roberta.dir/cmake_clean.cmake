@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_roberta.dir/table6_roberta.cc.o"
+  "CMakeFiles/table6_roberta.dir/table6_roberta.cc.o.d"
+  "table6_roberta"
+  "table6_roberta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_roberta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_embedding.dir/table7_embedding.cc.o"
+  "CMakeFiles/table7_embedding.dir/table7_embedding.cc.o.d"
+  "table7_embedding"
+  "table7_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

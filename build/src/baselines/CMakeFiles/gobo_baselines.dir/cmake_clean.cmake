@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gobo_baselines.dir/q8bert.cc.o"
+  "CMakeFiles/gobo_baselines.dir/q8bert.cc.o.d"
+  "CMakeFiles/gobo_baselines.dir/qbert.cc.o"
+  "CMakeFiles/gobo_baselines.dir/qbert.cc.o.d"
+  "libgobo_baselines.a"
+  "libgobo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gobo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/gobo_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/gobo_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/container.cc" "src/core/CMakeFiles/gobo_core.dir/container.cc.o" "gcc" "src/core/CMakeFiles/gobo_core.dir/container.cc.o.d"
+  "/root/repo/src/core/gaussian.cc" "src/core/CMakeFiles/gobo_core.dir/gaussian.cc.o" "gcc" "src/core/CMakeFiles/gobo_core.dir/gaussian.cc.o.d"
+  "/root/repo/src/core/mixture.cc" "src/core/CMakeFiles/gobo_core.dir/mixture.cc.o" "gcc" "src/core/CMakeFiles/gobo_core.dir/mixture.cc.o.d"
+  "/root/repo/src/core/outliers.cc" "src/core/CMakeFiles/gobo_core.dir/outliers.cc.o" "gcc" "src/core/CMakeFiles/gobo_core.dir/outliers.cc.o.d"
+  "/root/repo/src/core/qexec.cc" "src/core/CMakeFiles/gobo_core.dir/qexec.cc.o" "gcc" "src/core/CMakeFiles/gobo_core.dir/qexec.cc.o.d"
+  "/root/repo/src/core/qtensor.cc" "src/core/CMakeFiles/gobo_core.dir/qtensor.cc.o" "gcc" "src/core/CMakeFiles/gobo_core.dir/qtensor.cc.o.d"
+  "/root/repo/src/core/quantizer.cc" "src/core/CMakeFiles/gobo_core.dir/quantizer.cc.o" "gcc" "src/core/CMakeFiles/gobo_core.dir/quantizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/gobo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gobo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gobo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gobo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gobo_core.dir/cluster.cc.o"
+  "CMakeFiles/gobo_core.dir/cluster.cc.o.d"
+  "CMakeFiles/gobo_core.dir/container.cc.o"
+  "CMakeFiles/gobo_core.dir/container.cc.o.d"
+  "CMakeFiles/gobo_core.dir/gaussian.cc.o"
+  "CMakeFiles/gobo_core.dir/gaussian.cc.o.d"
+  "CMakeFiles/gobo_core.dir/mixture.cc.o"
+  "CMakeFiles/gobo_core.dir/mixture.cc.o.d"
+  "CMakeFiles/gobo_core.dir/outliers.cc.o"
+  "CMakeFiles/gobo_core.dir/outliers.cc.o.d"
+  "CMakeFiles/gobo_core.dir/qexec.cc.o"
+  "CMakeFiles/gobo_core.dir/qexec.cc.o.d"
+  "CMakeFiles/gobo_core.dir/qtensor.cc.o"
+  "CMakeFiles/gobo_core.dir/qtensor.cc.o.d"
+  "CMakeFiles/gobo_core.dir/quantizer.cc.o"
+  "CMakeFiles/gobo_core.dir/quantizer.cc.o.d"
+  "libgobo_core.a"
+  "libgobo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gobo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

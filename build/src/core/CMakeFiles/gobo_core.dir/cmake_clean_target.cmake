@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgobo_core.a"
+)

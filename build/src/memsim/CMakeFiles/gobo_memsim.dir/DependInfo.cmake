@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/memsim.cc" "src/memsim/CMakeFiles/gobo_memsim.dir/memsim.cc.o" "gcc" "src/memsim/CMakeFiles/gobo_memsim.dir/memsim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/gobo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gobo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gobo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gobo_memsim.dir/memsim.cc.o"
+  "CMakeFiles/gobo_memsim.dir/memsim.cc.o.d"
+  "libgobo_memsim.a"
+  "libgobo_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gobo_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

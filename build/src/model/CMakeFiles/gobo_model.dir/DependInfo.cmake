@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/config.cc" "src/model/CMakeFiles/gobo_model.dir/config.cc.o" "gcc" "src/model/CMakeFiles/gobo_model.dir/config.cc.o.d"
+  "/root/repo/src/model/footprint.cc" "src/model/CMakeFiles/gobo_model.dir/footprint.cc.o" "gcc" "src/model/CMakeFiles/gobo_model.dir/footprint.cc.o.d"
+  "/root/repo/src/model/generate.cc" "src/model/CMakeFiles/gobo_model.dir/generate.cc.o" "gcc" "src/model/CMakeFiles/gobo_model.dir/generate.cc.o.d"
+  "/root/repo/src/model/model.cc" "src/model/CMakeFiles/gobo_model.dir/model.cc.o" "gcc" "src/model/CMakeFiles/gobo_model.dir/model.cc.o.d"
+  "/root/repo/src/model/serialize.cc" "src/model/CMakeFiles/gobo_model.dir/serialize.cc.o" "gcc" "src/model/CMakeFiles/gobo_model.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/gobo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gobo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gobo_model.dir/config.cc.o"
+  "CMakeFiles/gobo_model.dir/config.cc.o.d"
+  "CMakeFiles/gobo_model.dir/footprint.cc.o"
+  "CMakeFiles/gobo_model.dir/footprint.cc.o.d"
+  "CMakeFiles/gobo_model.dir/generate.cc.o"
+  "CMakeFiles/gobo_model.dir/generate.cc.o.d"
+  "CMakeFiles/gobo_model.dir/model.cc.o"
+  "CMakeFiles/gobo_model.dir/model.cc.o.d"
+  "CMakeFiles/gobo_model.dir/serialize.cc.o"
+  "CMakeFiles/gobo_model.dir/serialize.cc.o.d"
+  "libgobo_model.a"
+  "libgobo_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gobo_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

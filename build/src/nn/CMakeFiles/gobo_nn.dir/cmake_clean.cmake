@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gobo_nn.dir/encoder.cc.o"
+  "CMakeFiles/gobo_nn.dir/encoder.cc.o.d"
+  "libgobo_nn.a"
+  "libgobo_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gobo_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gobo_task.dir/metrics.cc.o"
+  "CMakeFiles/gobo_task.dir/metrics.cc.o.d"
+  "CMakeFiles/gobo_task.dir/task.cc.o"
+  "CMakeFiles/gobo_task.dir/task.cc.o.d"
+  "libgobo_task.a"
+  "libgobo_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gobo_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gobo_tensor.dir/ops.cc.o"
+  "CMakeFiles/gobo_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/gobo_tensor.dir/tensor.cc.o"
+  "CMakeFiles/gobo_tensor.dir/tensor.cc.o.d"
+  "libgobo_tensor.a"
+  "libgobo_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gobo_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gobo_util.dir/bitstream.cc.o"
+  "CMakeFiles/gobo_util.dir/bitstream.cc.o.d"
+  "CMakeFiles/gobo_util.dir/huffman.cc.o"
+  "CMakeFiles/gobo_util.dir/huffman.cc.o.d"
+  "CMakeFiles/gobo_util.dir/rng.cc.o"
+  "CMakeFiles/gobo_util.dir/rng.cc.o.d"
+  "CMakeFiles/gobo_util.dir/stats.cc.o"
+  "CMakeFiles/gobo_util.dir/stats.cc.o.d"
+  "CMakeFiles/gobo_util.dir/table.cc.o"
+  "CMakeFiles/gobo_util.dir/table.cc.o.d"
+  "libgobo_util.a"
+  "libgobo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gobo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

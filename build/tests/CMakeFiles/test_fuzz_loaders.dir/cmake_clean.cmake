@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_loaders.dir/test_fuzz_loaders.cc.o"
+  "CMakeFiles/test_fuzz_loaders.dir/test_fuzz_loaders.cc.o.d"
+  "test_fuzz_loaders"
+  "test_fuzz_loaders.pdb"
+  "test_fuzz_loaders[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_loaders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

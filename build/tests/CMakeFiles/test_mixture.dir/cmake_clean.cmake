@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixture.dir/test_mixture.cc.o"
+  "CMakeFiles/test_mixture.dir/test_mixture.cc.o.d"
+  "test_mixture"
+  "test_mixture.pdb"
+  "test_mixture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outliers.dir/test_outliers.cc.o"
+  "CMakeFiles/test_outliers.dir/test_outliers.cc.o.d"
+  "test_outliers"
+  "test_outliers.pdb"
+  "test_outliers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qexec.dir/test_qexec.cc.o"
+  "CMakeFiles/test_qexec.dir/test_qexec.cc.o.d"
+  "test_qexec"
+  "test_qexec.pdb"
+  "test_qexec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

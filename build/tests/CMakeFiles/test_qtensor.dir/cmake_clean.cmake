@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qtensor.dir/test_qtensor.cc.o"
+  "CMakeFiles/test_qtensor.dir/test_qtensor.cc.o.d"
+  "test_qtensor"
+  "test_qtensor.pdb"
+  "test_qtensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qtensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

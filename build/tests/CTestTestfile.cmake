@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_bitstream[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_container[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_loaders[1]_include.cmake")
+include("/root/repo/build/tests/test_gaussian[1]_include.cmake")
+include("/root/repo/build/tests/test_generate[1]_include.cmake")
+include("/root/repo/build/tests/test_huffman[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_memsim[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_mixture[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_outliers[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_qexec[1]_include.cmake")
+include("/root/repo/build/tests/test_qtensor[1]_include.cmake")
+include("/root/repo/build/tests/test_quantizer[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_task[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gobo_cli.dir/gobo_cli.cc.o"
+  "CMakeFiles/gobo_cli.dir/gobo_cli.cc.o.d"
+  "gobo"
+  "gobo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gobo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
