@@ -13,6 +13,7 @@
 
 #include "bench/bench_util.hh"
 #include "core/qexec.hh"
+#include "exec/session.hh"
 #include "nn/encoder.hh"
 #include "task/task.hh"
 #include "tensor/ops.hh"
@@ -36,6 +37,10 @@ main(int argc, char **argv)
     spec.numExamples = opt.fast ? 60 : 200;
     Dataset data = buildTask(model, spec);
 
+    TokenBatch batch;
+    for (const auto &ex : data.examples)
+        batch.push_back(ex.tokens);
+
     ConsoleTable t({"Bits", "Mults / dense", "Adds / dense",
                     "Agreement", "Resident weight MB (full scale)"});
     for (unsigned bits : {2u, 3u, 4u}) {
@@ -48,16 +53,19 @@ main(int argc, char **argv)
         auto ops = qmodel.opCounts(spec.seqLen);
         auto dense = qmodel.denseOpCounts(spec.seqLen);
 
+        // Both engines serve the same batch through InferenceSession;
+        // agreement compares their argmax labels example by example.
+        InferenceSession qsession(std::move(qmodel),
+                                  ExecContext::parallel());
+        InferenceSession dsession(std::move(decoded),
+                                  ExecContext::parallel());
+        auto qlogits = qsession.headLogitsBatch(batch);
+        auto dlogits = dsession.headLogitsBatch(batch);
         std::size_t agree = 0;
-        for (const auto &ex : data.examples) {
-            Tensor logits = qmodel.classify(ex.tokens);
-            auto label = static_cast<int>(argmax(logits.flat()));
-            agree += label
-                             == predict(decoded, TaskKind::MnliLike, ex)
-                                    .label
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            agree += argmax(qlogits[i].flat()) == argmax(dlogits[i].flat())
                          ? 1
                          : 0;
-        }
 
         // Resident weight bytes at full checkpoint scale.
         auto report = quantizeConfigStreaming(

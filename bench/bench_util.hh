@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/quantizer.hh"
+#include "exec/context.hh"
 #include "model/generate.hh"
 #include "task/task.hh"
 #include "util/parallel.hh"
@@ -70,7 +71,8 @@ makeTask(ModelFamily family, TaskKind kind, const Options &opt)
         spec.numExamples = std::max<std::size_t>(100,
                                                  spec.numExamples / 4);
     Dataset data = buildTask(model, spec);
-    double baseline = evaluate(model, data);
+    // Parallel across examples; bit-identical to a serial evaluate.
+    double baseline = evaluate(ExecContext::parallel(), model, data);
     return {std::move(model), std::move(data), baseline};
 }
 
@@ -80,7 +82,7 @@ evalQuantized(const TaskSetup &setup, const ModelQuantOptions &options)
 {
     BertModel copy = setup.model;
     quantizeModelInPlace(copy, options);
-    return evaluate(copy, setup.data);
+    return evaluate(ExecContext::parallel(), copy, setup.data);
 }
 
 /** Convenience: uniform-bits options with a method. */

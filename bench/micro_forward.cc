@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Forward-pass throughput: serial vs parallel, FP32 vs compressed.
+ *
+ * Drives batched inference through InferenceSession on both backends
+ * and both engines and reports tokens/sec — the end-to-end latency
+ * story the execution refactor exists for. The parallel backend must
+ * be bit-identical to serial (asserted here on the logits), so the
+ * speedup column is a pure scheduling win. Results are appended to
+ * BENCH_forward.json for the driver.
+ *
+ * Flags: --seed N, --fast (fewer repetitions), plus
+ *   --threads N   parallel-backend width (default GOBO_THREADS/cores)
+ *   --seq-len S   tokens per sequence (default 32)
+ *   --batch B     sequences per batch (default 16)
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "core/qexec.hh"
+#include "exec/session.hh"
+#include "model/generate.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+
+using namespace gobo;
+using namespace gobo::bench;
+
+namespace {
+
+struct Result
+{
+    std::string engine;
+    std::string backend;
+    double tokensPerSec = 0.0;
+};
+
+double
+timeBatches(const InferenceSession &session, const TokenBatch &batch,
+            std::size_t reps)
+{
+    // Warm-up pass touches every weight and primes the pool.
+    session.headLogitsBatch(batch);
+    WallTimer timer;
+    for (std::size_t r = 0; r < reps; ++r)
+        session.headLogitsBatch(batch);
+    double secs = timer.seconds();
+    double tokens = static_cast<double>(reps * batch.size()
+                                        * batch[0].size());
+    return tokens / secs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 42;
+    std::size_t threads = defaultThreads();
+    std::size_t seq_len = 32, batch_size = 16, reps = 8;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--seed" && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--fast") {
+            reps = 2;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--seq-len" && i + 1 < argc) {
+            seq_len = std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--batch" && i + 1 < argc) {
+            batch_size = std::strtoul(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--seed N] [--fast] [--threads N]"
+                         " [--seq-len S] [--batch B]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("Micro-benchmark: forward-pass throughput "
+                "(threads=%zu, seq=%zu, batch=%zu)\n\n",
+                threads, seq_len, batch_size);
+
+    auto cfg = miniConfig(ModelFamily::BertBase);
+    BertModel model = generateModel(cfg, seed);
+    ModelQuantOptions qopt = uniformOptions(3, CentroidMethod::Gobo, 4);
+
+    Rng rng(seed * 31 + 5);
+    // generateModel leaves the task head zeroed; fill it so the
+    // logit-level identity check below compares real values.
+    model.resizeHead(3);
+    rng.fillGaussian(model.headW.data(), 0.0, 0.5);
+    rng.fillGaussian(model.headB.data(), 0.0, 0.5);
+    TokenBatch batch;
+    for (std::size_t s = 0; s < batch_size; ++s) {
+        std::vector<std::int32_t> seq;
+        for (std::size_t t = 0; t < seq_len; ++t)
+            seq.push_back(static_cast<std::int32_t>(
+                rng.integer(0, static_cast<int>(cfg.vocabSize) - 1)));
+        batch.push_back(std::move(seq));
+    }
+
+    ExecContext serial = ExecContext::serial();
+    ExecContext parallel = ExecContext::parallel(threads);
+
+    std::vector<Result> results;
+    double fp32_serial = 0.0, fp32_parallel = 0.0, q_parallel = 0.0;
+
+    {
+        InferenceSession s_fp32(model, serial);
+        InferenceSession p_fp32(model, parallel);
+        // Sanity: the backends agree bit-for-bit on the logits.
+        auto a = s_fp32.headLogitsBatch(batch);
+        auto b = p_fp32.headLogitsBatch(batch);
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            for (std::size_t j = 0; j < a[i].size(); ++j)
+                if (a[i](j) != b[i](j)) {
+                    std::fprintf(stderr,
+                                 "backend mismatch at [%zu][%zu]\n", i,
+                                 j);
+                    return 1;
+                }
+        fp32_serial = timeBatches(s_fp32, batch, reps);
+        fp32_parallel = timeBatches(p_fp32, batch, reps);
+        results.push_back({"fp32", "serial", fp32_serial});
+        results.push_back({"fp32", "parallel", fp32_parallel});
+    }
+    {
+        InferenceSession s_q(QuantizedBertModel(model, qopt), serial);
+        InferenceSession p_q(QuantizedBertModel(model, qopt), parallel);
+        double q_serial = timeBatches(s_q, batch, reps);
+        q_parallel = timeBatches(p_q, batch, reps);
+        results.push_back({"qexec", "serial", q_serial});
+        results.push_back({"qexec", "parallel", q_parallel});
+    }
+
+    ConsoleTable t({"Engine", "Backend", "Tokens/sec", "Speedup"});
+    for (const auto &r : results) {
+        double base = r.engine == "fp32" ? fp32_serial
+                                         : results[2].tokensPerSec;
+        t.addRow({r.engine, r.backend, ConsoleTable::num(r.tokensPerSec, 0),
+                  ConsoleTable::num(r.tokensPerSec / base, 2) + "x"});
+    }
+    t.print(std::cout);
+
+    double speedup = fp32_parallel / fp32_serial;
+    std::printf("\nparallel FP32 speedup over serial: %.2fx on %zu"
+                " threads\n",
+                speedup, threads);
+
+    std::FILE *json = std::fopen("BENCH_forward.json", "w");
+    if (json) {
+        std::fprintf(json,
+                     "{\n  \"bench\": \"micro_forward\",\n"
+                     "  \"seq_len\": %zu,\n  \"batch\": %zu,\n"
+                     "  \"threads\": %zu,\n  \"results\": [\n",
+                     seq_len, batch_size, threads);
+        for (std::size_t i = 0; i < results.size(); ++i)
+            std::fprintf(json,
+                         "    {\"engine\": \"%s\", \"backend\": \"%s\","
+                         " \"tokens_per_sec\": %.1f}%s\n",
+                         results[i].engine.c_str(),
+                         results[i].backend.c_str(),
+                         results[i].tokensPerSec,
+                         i + 1 < results.size() ? "," : "");
+        std::fprintf(json,
+                     "  ],\n  \"fp32_parallel_speedup\": %.3f,\n"
+                     "  \"qexec_parallel_tokens_per_sec\": %.1f\n}\n",
+                     speedup, q_parallel);
+        std::fclose(json);
+        std::puts("wrote BENCH_forward.json");
+    }
+    return 0;
+}

@@ -48,10 +48,15 @@ quantizeQ8(const Tensor &weights)
 }
 
 ModelQuantReport
-q8bertQuantizeModelInPlace(BertModel &model)
+q8bertQuantizeModelInPlace(BertModel &model, const ExecContext &ctx)
 {
     ModelQuantReport report;
-    for (auto &layer : model.fcLayers()) {
+    // Same index-addressed layer parallelism as the GOBO driver:
+    // per-layer results land in their slot and are reduced in order.
+    auto layers = model.fcLayers();
+    std::vector<LayerReportEntry> entries(layers.size());
+    ctx.parallelFor(layers.size(), [&](std::size_t i) {
+        auto &layer = layers[i];
         Q8Tensor q = quantizeQ8(*layer.weight);
         LayerReportEntry entry;
         entry.name = layer.name;
@@ -60,10 +65,13 @@ q8bertQuantizeModelInPlace(BertModel &model)
         entry.elements = layer.weight->size();
         entry.bits = 8;
         entry.payloadBytes = q.payloadBytes();
-        report.layers.push_back(entry);
-        report.weightOriginalBytes += layer.weight->size() * sizeof(float);
-        report.weightPayloadBytes += q.payloadBytes();
+        entries[i] = entry;
         *layer.weight = q.dequantize();
+    });
+    for (auto &entry : entries) {
+        report.weightOriginalBytes += entry.elements * sizeof(float);
+        report.weightPayloadBytes += entry.payloadBytes;
+        report.layers.push_back(std::move(entry));
     }
 
     report.embeddingOriginalBytes = model.wordEmbedding.size()

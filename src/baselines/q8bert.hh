@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/quantizer.hh"
+#include "exec/context.hh"
 #include "model/config.hh"
 #include "model/model.hh"
 #include "tensor/tensor.hh"
@@ -45,9 +46,11 @@ Q8Tensor quantizeQ8(const Tensor &weights);
  * Apply Q8BERT-style quantization to every FC weight matrix and the
  * word embedding (Q8BERT keeps embeddings 8-bit too), replacing each
  * with its decoded form. Returns the storage accounting in the same
- * report shape as the GOBO driver.
+ * report shape as the GOBO driver. Layers are processed on the
+ * context's backend (bit-identical to serial).
  */
-ModelQuantReport q8bertQuantizeModelInPlace(BertModel &model);
+ModelQuantReport q8bertQuantizeModelInPlace(BertModel &model,
+                                            const ExecContext &ctx = {});
 
 /**
  * Accounting-only Q8BERT pass over a full-size configuration

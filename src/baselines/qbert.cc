@@ -81,10 +81,16 @@ quantizeGroupwise(const Tensor &weights, unsigned bits,
 
 ModelQuantReport
 qbertQuantizeModelInPlace(BertModel &model, unsigned bits,
-                          std::size_t groups)
+                          std::size_t groups, const ExecContext &ctx)
 {
     ModelQuantReport report;
-    for (auto &layer : model.fcLayers()) {
+    // Layers are quantized independently into index-addressed slots
+    // and reduced in layer order, so parallel runs match serial ones
+    // bit for bit.
+    auto layers = model.fcLayers();
+    std::vector<LayerReportEntry> entries(layers.size());
+    ctx.parallelFor(layers.size(), [&](std::size_t i) {
+        auto &layer = layers[i];
         GroupQuantTensor q = quantizeGroupwise(*layer.weight, bits,
                                                groups);
         LayerReportEntry entry;
@@ -94,10 +100,13 @@ qbertQuantizeModelInPlace(BertModel &model, unsigned bits,
         entry.elements = q.elementCount();
         entry.bits = bits;
         entry.payloadBytes = q.payloadBytes();
-        report.layers.push_back(entry);
-        report.weightOriginalBytes += q.elementCount() * sizeof(float);
-        report.weightPayloadBytes += q.payloadBytes();
+        entries[i] = entry;
         *layer.weight = q.dequantize();
+    });
+    for (auto &entry : entries) {
+        report.weightOriginalBytes += entry.elements * sizeof(float);
+        report.weightPayloadBytes += entry.payloadBytes;
+        report.layers.push_back(std::move(entry));
     }
 
     // Q-BERT quantizes the embedding tables to 8 bits.

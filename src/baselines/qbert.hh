@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/quantizer.hh"
+#include "exec/context.hh"
 #include "model/config.hh"
 #include "model/model.hh"
 #include "tensor/tensor.hh"
@@ -62,10 +63,12 @@ GroupQuantTensor quantizeGroupwise(
 /**
  * Apply Q-BERT-style quantization to every FC weight matrix (B-bit
  * groupwise dictionaries) and the word embedding (8-bit fixed point,
- * as in the paper), replacing each with its decoded form.
+ * as in the paper), replacing each with its decoded form. Layers are
+ * processed on the context's backend (bit-identical to serial).
  */
 ModelQuantReport qbertQuantizeModelInPlace(BertModel &model, unsigned bits,
-                                           std::size_t groups = 128);
+                                           std::size_t groups = 128,
+                                           const ExecContext &ctx = {});
 
 /** Accounting-only Q-BERT pass over a full-size configuration. */
 ModelQuantReport qbertAccountConfig(const ModelConfig &config,

@@ -1,5 +1,6 @@
 #include "core/qexec.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/encoder.hh"
@@ -42,7 +43,8 @@ QuantizedLinear::QuantizedLinear(QuantizedTensor w, Tensor b)
 }
 
 Tensor
-QuantizedLinear::forward(const Tensor &x) const
+QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
+                         OpCounts *counts) const
 {
     fatalIf(x.rank() != 2 || x.cols() != weights.cols,
             "QuantizedLinear input shape mismatch: got ", x.rows(), "x",
@@ -51,32 +53,66 @@ QuantizedLinear::forward(const Tensor &x) const
     std::size_t seq = x.rows(), in = weights.cols, out = weights.rows;
     std::size_t k = weights.centroids.size();
     Tensor y(seq, out);
-    std::vector<double> bucket(k);
 
-    for (std::size_t s = 0; s < seq; ++s) {
-        const float *xrow = x.row(s).data();
-        float *yrow = y.row(s).data();
-        for (std::size_t o = 0; o < out; ++o) {
-            // Phase 1: additions only — steer activations into the
-            // per-centroid buckets (the accelerator's accumulators).
-            std::fill(bucket.begin(), bucket.end(), 0.0);
-            const std::uint8_t *irow = indexes.data() + o * in;
-            for (std::size_t i = 0; i < in; ++i)
-                bucket[irow[i]] += xrow[i];
-            // Phase 2: one multiply per centroid.
-            double acc = bias(o);
-            for (std::size_t c = 0; c < k; ++c)
-                acc += static_cast<double>(weights.centroids[c])
-                       * bucket[c];
-            // Phase 3: one correction MAC per outlier in this row.
-            for (std::uint32_t oi = outlierRowStart[o];
-                 oi < outlierRowStart[o + 1]; ++oi)
-                acc += static_cast<double>(outliers[oi].correction)
-                       * xrow[outliers[oi].column];
-            yrow[o] = static_cast<float>(acc);
+    // Parallel over output-row blocks: each block reuses one bucket
+    // vector (the accelerator's per-lane accumulators) and counts its
+    // own operations. y(s, o) is touched by exactly one block and its
+    // bucket/table/correction order matches the serial loop, so
+    // backends are bit-identical; block OpCounts are reduced in index
+    // order below.
+    std::size_t blocks =
+        ctx.isParallel() ? std::min(out, ctx.threads * 4) : 1;
+    std::size_t block = (out + blocks - 1) / blocks;
+    std::vector<OpCounts> block_counts(counts ? blocks : 0);
+
+    ctx.parallelFor(blocks, [&](std::size_t b) {
+        std::size_t o0 = b * block;
+        std::size_t o1 = std::min(o0 + block, out);
+        std::vector<double> bucket(k);
+        OpCounts local;
+        for (std::size_t s = 0; s < seq; ++s) {
+            const float *xrow = x.row(s).data();
+            float *yrow = y.row(s).data();
+            for (std::size_t o = o0; o < o1; ++o) {
+                // Phase 1: additions only — steer activations into
+                // the per-centroid buckets (the accelerator's
+                // accumulators).
+                std::fill(bucket.begin(), bucket.end(), 0.0);
+                const std::uint8_t *irow = indexes.data() + o * in;
+                for (std::size_t i = 0; i < in; ++i)
+                    bucket[irow[i]] += xrow[i];
+                // Phase 2: one multiply per centroid.
+                double acc = bias(o);
+                for (std::size_t c = 0; c < k; ++c)
+                    acc += static_cast<double>(weights.centroids[c])
+                           * bucket[c];
+                // Phase 3: one correction MAC per outlier in this row.
+                std::uint32_t o_begin = outlierRowStart[o];
+                std::uint32_t o_end = outlierRowStart[o + 1];
+                for (std::uint32_t oi = o_begin; oi < o_end; ++oi)
+                    acc += static_cast<double>(outliers[oi].correction)
+                           * xrow[outliers[oi].column];
+                yrow[o] = static_cast<float>(acc);
+                if (counts) {
+                    local.additions += in + k + (o_end - o_begin);
+                    local.multiplications += k + (o_end - o_begin);
+                }
+            }
         }
-    }
+        if (counts)
+            block_counts[b] = local;
+    });
+
+    if (counts)
+        for (const auto &bc : block_counts)
+            *counts += bc;
     return y;
+}
+
+Tensor
+QuantizedLinear::forward(const Tensor &x) const
+{
+    return forward(ExecContext::serial(), x);
 }
 
 OpCounts
@@ -149,7 +185,8 @@ QuantizedBertModel::QuantizedBertModel(const BertModel &model,
 }
 
 Tensor
-QuantizedBertModel::encode(std::span<const std::int32_t> token_ids) const
+QuantizedBertModel::encode(const ExecContext &ctx,
+                           std::span<const std::int32_t> token_ids) const
 {
     fatalIf(token_ids.empty(), "encode on empty sequence");
     fatalIf(token_ids.size() > cfg.maxPosition, "sequence length ",
@@ -166,41 +203,56 @@ QuantizedBertModel::encode(std::span<const std::int32_t> token_ids) const
         for (std::size_t c = 0; c < dst.size(); ++c)
             dst[c] = word[c] + posv[c];
     }
-    layerNormInplace(x, embLnGamma.flat(), embLnBeta.flat());
+    layerNormInplace(ctx, x, embLnGamma.flat(), embLnBeta.flat());
 
     for (const auto &enc : encoders) {
-        Tensor q = enc.query.forward(x);
-        Tensor k = enc.key.forward(x);
-        Tensor v = enc.value.forward(x);
-        Tensor ctx = multiHeadAttention(q, k, v, cfg.numHeads);
-        Tensor attn_out = enc.attnOut.forward(ctx);
+        Tensor q = enc.query.forward(ctx, x);
+        Tensor k = enc.key.forward(ctx, x);
+        Tensor v = enc.value.forward(ctx, x);
+        Tensor attn_ctx = multiHeadAttention(ctx, q, k, v, cfg.numHeads);
+        Tensor attn_out = enc.attnOut.forward(ctx, attn_ctx);
         Tensor a = add(x, attn_out);
-        layerNormInplace(a, enc.attnLnGamma.flat(), enc.attnLnBeta.flat());
+        layerNormInplace(ctx, a, enc.attnLnGamma.flat(),
+                         enc.attnLnBeta.flat());
 
-        Tensor inter = enc.inter.forward(a);
+        Tensor inter = enc.inter.forward(ctx, a);
         geluInplace(inter);
-        Tensor out = enc.out.forward(inter);
+        Tensor out = enc.out.forward(ctx, inter);
         Tensor y = add(a, out);
-        layerNormInplace(y, enc.outLnGamma.flat(), enc.outLnBeta.flat());
+        layerNormInplace(ctx, y, enc.outLnGamma.flat(),
+                         enc.outLnBeta.flat());
         x = std::move(y);
     }
     return x;
 }
 
 Tensor
-QuantizedBertModel::classify(std::span<const std::int32_t> token_ids) const
+QuantizedBertModel::encode(std::span<const std::int32_t> token_ids) const
 {
-    Tensor hidden = encode(token_ids);
+    return encode(ExecContext::serial(), token_ids);
+}
+
+Tensor
+QuantizedBertModel::classify(const ExecContext &ctx,
+                             std::span<const std::int32_t> token_ids) const
+{
+    Tensor hidden = encode(ctx, token_ids);
     Tensor first(1, hidden.cols());
     auto src = hidden.row(0);
     std::copy(src.begin(), src.end(), first.row(0).begin());
-    Tensor pooled = pooler.forward(first);
+    Tensor pooled = pooler.forward(ctx, first);
     tanhInplace(pooled);
     Tensor logits2d = linear(pooled, headW, headB);
     Tensor logits(logits2d.cols());
     auto row = logits2d.row(0);
     std::copy(row.begin(), row.end(), logits.flat().begin());
     return logits;
+}
+
+Tensor
+QuantizedBertModel::classify(std::span<const std::int32_t> token_ids) const
+{
+    return classify(ExecContext::serial(), token_ids);
 }
 
 OpCounts

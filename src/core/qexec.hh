@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/quantizer.hh"
+#include "exec/context.hh"
 #include "model/model.hh"
 #include "tensor/tensor.hh"
 
@@ -56,7 +57,16 @@ class QuantizedLinear
     /** Take ownership of the compressed weights and FP32 bias. */
     QuantizedLinear(QuantizedTensor weights, Tensor bias);
 
-    /** Forward pass via per-centroid accumulation. x is [seq, in]. */
+    /**
+     * Forward pass via per-centroid accumulation. x is [seq, in].
+     * Parallelizes over output-row blocks on the context's backend;
+     * every y(s, o) keeps the serial bucket/table/correction order, so
+     * backends are bit-identical. When `counts` is non-null the
+     * operations actually performed are accumulated into it (each
+     * block counts locally, blocks are summed in index order).
+     */
+    Tensor forward(const ExecContext &ctx, const Tensor &x,
+                   OpCounts *counts = nullptr) const;
     Tensor forward(const Tensor &x) const;
 
     /** Operations a forward pass at this sequence length performs. */
@@ -106,9 +116,13 @@ class QuantizedBertModel
                        const ModelQuantOptions &options);
 
     /** Full encoder stack; mirrors gobo::encodeSequence. */
+    Tensor encode(const ExecContext &ctx,
+                  std::span<const std::int32_t> token_ids) const;
     Tensor encode(std::span<const std::int32_t> token_ids) const;
 
     /** Pooler + head logits; mirrors pool() + headLogits(). */
+    Tensor classify(const ExecContext &ctx,
+                    std::span<const std::int32_t> token_ids) const;
     Tensor classify(std::span<const std::int32_t> token_ids) const;
 
     /** Total operations for one sequence. */

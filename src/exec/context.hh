@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Execution context threaded through the forward-pass stack.
+ *
+ * Every compute routine that can parallelize (tensor ops, the encoder,
+ * compressed-domain execution, the batched InferenceSession) takes an
+ * ExecContext and dispatches through it: Backend::Serial runs inline,
+ * Backend::Parallel drains row blocks on the shared ThreadPool. The
+ * two backends are bit-identical by construction — the context only
+ * decides which thread computes a slot, never the reduction order
+ * inside it — so tests can assert exact equality between them.
+ */
+
+#ifndef GOBO_EXEC_CONTEXT_HH
+#define GOBO_EXEC_CONTEXT_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+#include "exec/threadpool.hh"
+
+namespace gobo {
+
+/** How compute loops execute. */
+enum class Backend
+{
+    Serial,   ///< inline on the calling thread.
+    Parallel, ///< row blocks drained on the thread pool.
+};
+
+/** Printable backend name. */
+inline const char *
+backendName(Backend b)
+{
+    return b == Backend::Serial ? "serial" : "parallel";
+}
+
+/**
+ * The execution environment a forward pass runs in: a backend, a
+ * parallelism budget, and the pool that provides the workers. Cheap
+ * to copy; default-constructed it is the serial backend, so existing
+ * single-threaded call sites keep their exact behaviour.
+ */
+struct ExecContext
+{
+    Backend backend = Backend::Serial;
+    /** Max threads a loop may use (including the calling thread). */
+    std::size_t threads = 1;
+    /** Pool to draw workers from; nullptr means ThreadPool::shared(). */
+    ThreadPool *pool = nullptr;
+
+    /** The serial context (the default). */
+    static ExecContext
+    serial()
+    {
+        return {};
+    }
+
+    /**
+     * A parallel context with `threads` workers (0 means
+     * defaultThreads(), which honours GOBO_THREADS).
+     */
+    static ExecContext
+    parallel(std::size_t threads = 0)
+    {
+        ExecContext ctx;
+        ctx.backend = Backend::Parallel;
+        ctx.threads = threads == 0 ? defaultThreads() : threads;
+        if (ctx.threads <= 1)
+            ctx.backend = Backend::Serial;
+        return ctx;
+    }
+
+    bool
+    isParallel() const
+    {
+        return backend == Backend::Parallel && threads > 1;
+    }
+
+    /**
+     * Run fn(i) for i in [0, count): inline when serial, on the pool
+     * when parallel. fn must only write index-addressed state.
+     */
+    void
+    parallelFor(std::size_t count,
+                const std::function<void(std::size_t)> &fn) const
+    {
+        if (!isParallel() || count <= 1) {
+            for (std::size_t i = 0; i < count; ++i)
+                fn(i);
+            return;
+        }
+        (pool ? *pool : ThreadPool::shared()).run(count, threads, fn);
+    }
+
+    /**
+     * Run fn(begin, end) over contiguous blocks of [0, rows). Blocks
+     * are sized so each participating thread gets a handful, bounding
+     * scheduling overhead while keeping the tail balanced; the block
+     * decomposition does not affect results because fn computes each
+     * row independently.
+     */
+    void
+    parallelRows(std::size_t rows,
+                 const std::function<void(std::size_t, std::size_t)>
+                     &fn) const
+    {
+        if (!isParallel() || rows <= 1) {
+            if (rows > 0)
+                fn(0, rows);
+            return;
+        }
+        std::size_t blocks = std::min(rows, threads * 4);
+        std::size_t block = (rows + blocks - 1) / blocks;
+        parallelFor(blocks, [&](std::size_t b) {
+            std::size_t begin = b * block;
+            std::size_t end = std::min(begin + block, rows);
+            if (begin < end)
+                fn(begin, end);
+        });
+    }
+};
+
+} // namespace gobo
+
+#endif // GOBO_EXEC_CONTEXT_HH

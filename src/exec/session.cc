@@ -1,0 +1,100 @@
+#include "exec/session.hh"
+
+#include "nn/encoder.hh"
+#include "util/logging.hh"
+
+namespace gobo {
+
+InferenceSession::InferenceSession(BertModel model, ExecContext c)
+    : ctx(c), fp32(std::move(model))
+{
+}
+
+InferenceSession::InferenceSession(QuantizedBertModel model,
+                                   ExecContext c)
+    : ctx(c), quantized(std::move(model))
+{
+}
+
+const BertModel &
+InferenceSession::model() const
+{
+    fatalIf(!fp32, "InferenceSession::model() on a compressed session");
+    return *fp32;
+}
+
+const ModelConfig &
+InferenceSession::config() const
+{
+    return fp32 ? fp32->config() : quantized->config();
+}
+
+Tensor
+InferenceSession::encodeSequence(
+    std::span<const std::int32_t> tokens) const
+{
+    return fp32 ? gobo::encodeSequence(ctx, *fp32, tokens)
+                : quantized->encode(ctx, tokens);
+}
+
+Tensor
+InferenceSession::headLogits(std::span<const std::int32_t> tokens) const
+{
+    if (quantized)
+        return quantized->classify(ctx, tokens);
+    Tensor hidden = gobo::encodeSequence(ctx, *fp32, tokens);
+    Tensor pooled = pool(*fp32, hidden);
+    return gobo::headLogits(*fp32, pooled);
+}
+
+Tensor
+InferenceSession::spanLogits(std::span<const std::int32_t> tokens) const
+{
+    fatalIf(!fp32, "spanLogits needs the FP32 engine");
+    Tensor hidden = gobo::encodeSequence(ctx, *fp32, tokens);
+    return gobo::spanLogits(*fp32, hidden);
+}
+
+ExecContext
+InferenceSession::innerContext(std::size_t batch_size) const
+{
+    // Once the batch dimension can keep every thread busy, per-
+    // sequence forwards run serially inside their slot; a nested
+    // parallel dispatch would only add scheduling overhead (the pool
+    // runs reentrant submissions inline anyway). Either composition
+    // is bit-identical, so this is purely a scheduling choice.
+    if (ctx.isParallel() && batch_size >= ctx.threads)
+        return ExecContext::serial();
+    return ctx;
+}
+
+std::vector<Tensor>
+InferenceSession::encodeBatch(const TokenBatch &batch) const
+{
+    std::vector<Tensor> out(batch.size());
+    ExecContext inner = innerContext(batch.size());
+    ctx.parallelFor(batch.size(), [&](std::size_t i) {
+        out[i] = fp32 ? gobo::encodeSequence(inner, *fp32, batch[i])
+                      : quantized->encode(inner, batch[i]);
+    });
+    return out;
+}
+
+std::vector<Tensor>
+InferenceSession::headLogitsBatch(const TokenBatch &batch) const
+{
+    std::vector<Tensor> out(batch.size());
+    ExecContext inner = innerContext(batch.size());
+    ctx.parallelFor(batch.size(), [&](std::size_t i) {
+        if (quantized) {
+            out[i] = quantized->classify(inner, batch[i]);
+        } else {
+            Tensor hidden = gobo::encodeSequence(inner, *fp32, batch[i]);
+            Tensor pooled = pool(*fp32, hidden);
+            out[i] = gobo::headLogits(*fp32, pooled);
+        }
+    });
+    return out;
+}
+
+} // namespace gobo

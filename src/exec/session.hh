@@ -1,0 +1,92 @@
+/**
+ * @file
+ * InferenceSession — the serving entry point over the execution stack.
+ *
+ * A session owns a model (FP32 BertModel or compressed-domain
+ * QuantizedBertModel) together with the ExecContext it runs under, and
+ * exposes single-sequence and batched forward passes. Batched calls
+ * parallelize *across* sequences on the context's pool while each
+ * per-sequence forward runs serially inside its slot, which keeps
+ * batch results bit-identical to one-at-a-time calls (and to the
+ * serial backend) — the determinism contract DESIGN.md §7 documents.
+ * The CLI `infer` command, the examples, and bench/micro_forward all
+ * drive inference through this class instead of ad-hoc encoder calls.
+ */
+
+#ifndef GOBO_EXEC_SESSION_HH
+#define GOBO_EXEC_SESSION_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/qexec.hh"
+#include "exec/context.hh"
+#include "model/model.hh"
+#include "tensor/tensor.hh"
+
+namespace gobo {
+
+/** A batch of token sequences. */
+using TokenBatch = std::vector<std::vector<std::int32_t>>;
+
+/** A model + execution context bound together for repeated inference. */
+class InferenceSession
+{
+  public:
+    /** Serve an FP32 model under `ctx`. */
+    InferenceSession(BertModel model, ExecContext ctx = {});
+
+    /** Serve a compressed-domain model under `ctx`. */
+    InferenceSession(QuantizedBertModel model, ExecContext ctx = {});
+
+    /** True when executing from the compressed format. */
+    bool compressed() const { return quantized.has_value(); }
+
+    const ExecContext &context() const { return ctx; }
+
+    /** Rebind the execution context (e.g. to switch backends). */
+    void setContext(ExecContext c) { ctx = c; }
+
+    /**
+     * The FP32 model, for callers that need weight access (task
+     * harness, span head). Fatal on a compressed session.
+     */
+    const BertModel &model() const;
+
+    const ModelConfig &config() const;
+
+    /** Hidden states [seq, hidden] for one sequence. */
+    Tensor encodeSequence(std::span<const std::int32_t> tokens) const;
+
+    /** Classification-head logits [outputs] for one sequence. */
+    Tensor headLogits(std::span<const std::int32_t> tokens) const;
+
+    /**
+     * Span-extraction logits [seq, 2] for one sequence (FP32 engine
+     * only — the compressed engine keeps the span head FP32-free).
+     */
+    Tensor spanLogits(std::span<const std::int32_t> tokens) const;
+
+    /** encodeSequence over a batch, parallel across sequences. */
+    std::vector<Tensor> encodeBatch(const TokenBatch &batch) const;
+
+    /** headLogits over a batch, parallel across sequences. */
+    std::vector<Tensor> headLogitsBatch(const TokenBatch &batch) const;
+
+  private:
+    /**
+     * Context for the per-sequence forward inside a batched call:
+     * serial when the batch dimension already saturates the pool.
+     */
+    ExecContext innerContext(std::size_t batch_size) const;
+
+    ExecContext ctx;
+    std::optional<BertModel> fp32;
+    std::optional<QuantizedBertModel> quantized;
+};
+
+} // namespace gobo
+
+#endif // GOBO_EXEC_SESSION_HH

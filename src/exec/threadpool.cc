@@ -1,0 +1,161 @@
+#include "exec/threadpool.hh"
+
+#include <cstdlib>
+
+namespace gobo {
+
+namespace {
+
+/**
+ * Set while a thread is draining a job, so a nested run() from inside
+ * fn falls back to inline execution instead of waiting on the pool it
+ * is itself a worker of.
+ */
+thread_local bool inside_pool = false;
+
+} // namespace
+
+std::size_t
+defaultThreads()
+{
+    if (const char *env = std::getenv("GOBO_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t n_workers)
+{
+    if (n_workers == 0)
+        n_workers = defaultThreads();
+    workers.reserve(n_workers);
+    for (std::size_t t = 0; t < n_workers; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lock(mutex);
+        stopping = true;
+    }
+    wake.notify_all();
+    // Join here, before any member is destroyed: a worker may still be
+    // inside done.notify_one() after finishing its last job, and the
+    // condition variables must outlive that call.
+    workers.clear();
+}
+
+void
+ThreadPool::drain(const std::function<void(std::size_t)> &fn,
+                  std::size_t count)
+{
+    inside_pool = true;
+    for (;;) {
+        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count)
+            break;
+        try {
+            fn(i);
+        } catch (...) {
+            std::lock_guard lock(mutex);
+            if (!error)
+                error = std::current_exception();
+            // Stop issuing new indexes; in-flight calls finish.
+            next.store(count, std::memory_order_relaxed);
+        }
+    }
+    inside_pool = false;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::size_t count = 0;
+        {
+            std::unique_lock lock(mutex);
+            wake.wait(lock, [&] {
+                return stopping || generation != seen;
+            });
+            if (stopping)
+                return;
+            seen = generation;
+            // Late to a job that is already fully claimed or out of
+            // slots: go back to sleep until the next generation.
+            if (jobSlots == 0
+                || next.load(std::memory_order_relaxed) >= jobCount)
+                continue;
+            --jobSlots;
+            ++active;
+            fn = jobFn;
+            count = jobCount;
+        }
+        drain(*fn, count);
+        {
+            std::lock_guard lock(mutex);
+            --active;
+        }
+        done.notify_one();
+    }
+}
+
+void
+ThreadPool::run(std::size_t count, std::size_t parallelism,
+                const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    // Inline paths: explicit serial request, trivial ranges, or a
+    // nested call from a thread already draining a job.
+    if (parallelism <= 1 || count <= 1 || workers.empty()
+        || inside_pool) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::lock_guard submit(submitMutex);
+    {
+        std::lock_guard lock(mutex);
+        jobFn = &fn;
+        jobCount = count;
+        // The submitter is one participant; cap helpers by the
+        // remaining work and the requested parallelism.
+        jobSlots = std::min({workers.size(), count - 1,
+                             parallelism - 1});
+        next.store(0, std::memory_order_relaxed);
+        error = nullptr;
+        ++generation;
+    }
+    wake.notify_all();
+
+    drain(fn, count);
+
+    std::unique_lock lock(mutex);
+    // No worker can join after this point: every index is claimed, so
+    // the jobSlots/next check in workerLoop turns late arrivals away.
+    done.wait(lock, [&] { return active == 0; });
+    jobFn = nullptr;
+    jobSlots = 0;
+    if (error)
+        std::rethrow_exception(error);
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    // The submitting thread always participates, so the pool only
+    // needs defaultThreads() - 1 helpers to saturate the machine.
+    static ThreadPool pool(defaultThreads() > 1 ? defaultThreads() - 1
+                                                : 1);
+    return pool;
+}
+
+} // namespace gobo

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Persistent worker pool behind every parallel loop in the repo.
+ *
+ * Workers are spawned once and reused across submissions; a parallel
+ * loop is one "job generation" that the submitting thread and up to
+ * `count - 1` workers drain together by pulling indexes from an atomic
+ * counter and writing into index-addressed slots. The pool never wakes
+ * more workers than there are work items, so tiny loops do not pay for
+ * idle cores, and a nested submission from inside a worker runs inline
+ * rather than deadlocking on its own pool.
+ *
+ * Determinism contract: the pool schedules *which thread* runs fn(i),
+ * never *what* fn(i) computes. As long as fn(i) only writes slot i and
+ * keeps a fixed reduction order internally, an N-thread run is
+ * bit-identical to a serial one.
+ */
+
+#ifndef GOBO_EXEC_THREADPOOL_HH
+#define GOBO_EXEC_THREADPOOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gobo {
+
+/**
+ * Worker count used when the caller does not specify one: the
+ * GOBO_THREADS environment variable if set to a positive integer
+ * (CI and benchmarking override), otherwise the hardware concurrency.
+ */
+std::size_t defaultThreads();
+
+/** A persistent pool of worker threads draining index ranges. */
+class ThreadPool
+{
+  public:
+    /** Spawn `workers` persistent threads (0 means defaultThreads()). */
+    explicit ThreadPool(std::size_t workers = 0);
+
+    /** Signals the workers to exit and joins them. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Persistent worker threads (the caller adds one more at run()). */
+    std::size_t workerCount() const { return workers.size(); }
+
+    /**
+     * Run fn(i) for every i in [0, count), blocking until all calls
+     * return. The calling thread participates, joined by up to
+     * min(workerCount(), count - 1, parallelism - 1) workers; fn must
+     * be safe to call concurrently for distinct i. The first exception
+     * thrown by fn stops new indexes from being issued and is
+     * rethrown here once in-flight calls finish. Reentrant calls from
+     * inside a worker run inline on the calling thread.
+     *
+     * parallelism <= 1 (or count <= 1) runs inline with no
+     * synchronization at all.
+     */
+    void run(std::size_t count, std::size_t parallelism,
+             const std::function<void(std::size_t)> &fn);
+
+    /** run() with no parallelism cap beyond the pool size. */
+    void
+    run(std::size_t count, const std::function<void(std::size_t)> &fn)
+    {
+        run(count, workers.size() + 1, fn);
+    }
+
+    /**
+     * The process-wide pool (defaultThreads() - 1 workers, created on
+     * first use). Everything in the repo that parallelizes goes
+     * through this instance unless handed an explicit pool.
+     */
+    static ThreadPool &shared();
+
+  private:
+    void workerLoop();
+    void drain(const std::function<void(std::size_t)> &fn,
+               std::size_t count);
+
+    std::vector<std::jthread> workers;
+
+    std::mutex mutex;
+    std::condition_variable wake;   ///< workers wait here for a job.
+    std::condition_variable done;   ///< the submitter waits here.
+
+    // State of the current job generation, guarded by `mutex` except
+    // where noted.
+    std::uint64_t generation = 0;
+    const std::function<void(std::size_t)> *jobFn = nullptr;
+    std::size_t jobCount = 0;
+    std::size_t jobSlots = 0;       ///< workers still allowed to join.
+    std::size_t active = 0;         ///< workers inside the current job.
+    std::atomic<std::size_t> next{0}; ///< next index to claim.
+    std::exception_ptr error;
+    bool stopping = false;
+
+    /** Serializes concurrent run() calls from different threads. */
+    std::mutex submitMutex;
+};
+
+} // namespace gobo
+
+#endif // GOBO_EXEC_THREADPOOL_HH

@@ -31,7 +31,8 @@ embedTokens(const BertModel &model, std::span<const std::int32_t> token_ids)
 }
 
 Tensor
-multiHeadAttention(const Tensor &q, const Tensor &k, const Tensor &v,
+multiHeadAttention(const ExecContext &ectx, const Tensor &q,
+                   const Tensor &k, const Tensor &v,
                    std::size_t num_heads)
 {
     std::size_t seq = q.rows(), h = q.cols();
@@ -40,8 +41,12 @@ multiHeadAttention(const Tensor &q, const Tensor &k, const Tensor &v,
     float scale = 1.0f / std::sqrt(static_cast<float>(dh));
 
     Tensor ctx(seq, h);
-    Tensor scores(seq, seq);
-    for (std::size_t head = 0; head < num_heads; ++head) {
+    // Heads are independent: each owns the column slice
+    // [head*dh, (head+1)*dh) of ctx and scores only itself, so
+    // dispatching heads to the backend is race-free and order
+    // preserving per element.
+    ectx.parallelFor(num_heads, [&](std::size_t head) {
+        Tensor scores(seq, seq);
         std::size_t off = head * dh;
         for (std::size_t i = 0; i < seq; ++i) {
             const float *qi = q.row(i).data() + off;
@@ -65,42 +70,65 @@ multiHeadAttention(const Tensor &q, const Tensor &k, const Tensor &v,
                     crow[d] += s * vj[d];
             }
         }
-    }
+    });
     return ctx;
+}
+
+Tensor
+multiHeadAttention(const Tensor &q, const Tensor &k, const Tensor &v,
+                   std::size_t num_heads)
+{
+    return multiHeadAttention(ExecContext::serial(), q, k, v, num_heads);
+}
+
+Tensor
+encoderForward(const ExecContext &ectx, const EncoderWeights &enc,
+               const Tensor &hidden, std::size_t num_heads)
+{
+    // Attention component.
+    Tensor q = linear(ectx, hidden, enc.queryW, enc.queryB);
+    Tensor k = linear(ectx, hidden, enc.keyW, enc.keyB);
+    Tensor v = linear(ectx, hidden, enc.valueW, enc.valueB);
+    Tensor ctx = multiHeadAttention(ectx, q, k, v, num_heads);
+    Tensor attn_out = linear(ectx, ctx, enc.attnOutW, enc.attnOutB);
+    Tensor x = add(hidden, attn_out);
+    layerNormInplace(ectx, x, enc.attnLnGamma.flat(),
+                     enc.attnLnBeta.flat());
+
+    // Intermediate component.
+    Tensor inter = linear(ectx, x, enc.interW, enc.interB);
+    geluInplace(inter);
+
+    // Output component.
+    Tensor out = linear(ectx, inter, enc.outW, enc.outB);
+    Tensor y = add(x, out);
+    layerNormInplace(ectx, y, enc.outLnGamma.flat(),
+                     enc.outLnBeta.flat());
+    return y;
 }
 
 Tensor
 encoderForward(const EncoderWeights &enc, const Tensor &hidden,
                std::size_t num_heads)
 {
-    // Attention component.
-    Tensor q = linear(hidden, enc.queryW, enc.queryB);
-    Tensor k = linear(hidden, enc.keyW, enc.keyB);
-    Tensor v = linear(hidden, enc.valueW, enc.valueB);
-    Tensor ctx = multiHeadAttention(q, k, v, num_heads);
-    Tensor attn_out = linear(ctx, enc.attnOutW, enc.attnOutB);
-    Tensor x = add(hidden, attn_out);
-    layerNormInplace(x, enc.attnLnGamma.flat(), enc.attnLnBeta.flat());
+    return encoderForward(ExecContext::serial(), enc, hidden, num_heads);
+}
 
-    // Intermediate component.
-    Tensor inter = linear(x, enc.interW, enc.interB);
-    geluInplace(inter);
-
-    // Output component.
-    Tensor out = linear(inter, enc.outW, enc.outB);
-    Tensor y = add(x, out);
-    layerNormInplace(y, enc.outLnGamma.flat(), enc.outLnBeta.flat());
-    return y;
+Tensor
+encodeSequence(const ExecContext &ctx, const BertModel &model,
+               std::span<const std::int32_t> token_ids)
+{
+    Tensor x = embedTokens(model, token_ids);
+    for (const auto &enc : model.encoders)
+        x = encoderForward(ctx, enc, x, model.config().numHeads);
+    return x;
 }
 
 Tensor
 encodeSequence(const BertModel &model,
                std::span<const std::int32_t> token_ids)
 {
-    Tensor x = embedTokens(model, token_ids);
-    for (const auto &enc : model.encoders)
-        x = encoderForward(enc, x, model.config().numHeads);
-    return x;
+    return encodeSequence(ExecContext::serial(), model, token_ids);
 }
 
 Tensor

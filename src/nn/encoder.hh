@@ -9,6 +9,12 @@
  * (down-projection, residual + layer norm); an embedding front end and
  * the Pooler after the last encoder. Everything consumes plain FP32
  * tensors, which is what makes decoded GOBO models plug-in compatible.
+ *
+ * Each stage takes an ExecContext: projections and norms dispatch
+ * row-blocked to the backend, and multi-head attention parallelizes
+ * over heads (each head owns a disjoint column slice of the context
+ * tensor and its own score buffer). The context-free overloads run
+ * serially; both backends are bit-identical (see DESIGN.md §7).
  */
 
 #ifndef GOBO_NN_ENCODER_HH
@@ -17,6 +23,7 @@
 #include <cstdint>
 #include <span>
 
+#include "exec/context.hh"
 #include "model/model.hh"
 #include "tensor/tensor.hh"
 
@@ -37,6 +44,9 @@ Tensor embedTokens(const BertModel &model,
  * compressed-domain QuantizedBertModel) can share the exact attention
  * arithmetic.
  */
+Tensor multiHeadAttention(const ExecContext &ctx, const Tensor &q,
+                          const Tensor &k, const Tensor &v,
+                          std::size_t num_heads);
 Tensor multiHeadAttention(const Tensor &q, const Tensor &k,
                           const Tensor &v, std::size_t num_heads);
 
@@ -44,10 +54,14 @@ Tensor multiHeadAttention(const Tensor &q, const Tensor &k,
  * One encoder layer: multi-head self-attention and FFN with residuals
  * and layer norms, as in Fig. 1a.
  */
+Tensor encoderForward(const ExecContext &ctx, const EncoderWeights &enc,
+                      const Tensor &hidden, std::size_t num_heads);
 Tensor encoderForward(const EncoderWeights &enc, const Tensor &hidden,
                       std::size_t num_heads);
 
 /** Run the embedding front end and the whole encoder stack. */
+Tensor encodeSequence(const ExecContext &ctx, const BertModel &model,
+                      std::span<const std::int32_t> token_ids);
 Tensor encodeSequence(const BertModel &model,
                       std::span<const std::int32_t> token_ids);
 

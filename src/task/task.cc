@@ -317,16 +317,24 @@ buildTask(BertModel &model, const TaskSpec &spec)
 }
 
 double
-evaluate(const BertModel &model, const Dataset &data)
+evaluate(const ExecContext &ctx, const BertModel &model,
+         const Dataset &data)
 {
     fatalIf(data.examples.empty(), "evaluate on empty dataset");
+
+    // Examples are independent: predict each into its slot on the
+    // backend, then reduce the metric in example order — bit-identical
+    // to the serial loop.
+    std::vector<Prediction> preds(data.examples.size());
+    ctx.parallelFor(data.examples.size(), [&](std::size_t i) {
+        preds[i] = predict(model, data.kind, data.examples[i]);
+    });
+
     switch (data.kind) {
       case TaskKind::MnliLike: {
         std::size_t hits = 0;
-        for (const auto &ex : data.examples) {
-            auto p = predict(model, data.kind, ex);
-            hits += p.label == ex.label ? 1 : 0;
-        }
+        for (std::size_t i = 0; i < preds.size(); ++i)
+            hits += preds[i].label == data.examples[i].label ? 1 : 0;
         return static_cast<double>(hits)
                / static_cast<double>(data.examples.size());
       }
@@ -334,23 +342,34 @@ evaluate(const BertModel &model, const Dataset &data)
         std::vector<double> pred, gold;
         pred.reserve(data.examples.size());
         gold.reserve(data.examples.size());
-        for (const auto &ex : data.examples) {
-            pred.push_back(predict(model, data.kind, ex).score);
-            gold.push_back(ex.score);
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            pred.push_back(preds[i].score);
+            gold.push_back(data.examples[i].score);
         }
         return spearman(pred, gold);
       }
       case TaskKind::SquadLike: {
         double f1_sum = 0.0;
-        for (const auto &ex : data.examples) {
-            auto p = predict(model, data.kind, ex);
-            f1_sum += spanF1(p.spanStart, p.spanEnd, ex.spanStart,
-                             ex.spanEnd);
-        }
+        for (std::size_t i = 0; i < preds.size(); ++i)
+            f1_sum += spanF1(preds[i].spanStart, preds[i].spanEnd,
+                             data.examples[i].spanStart,
+                             data.examples[i].spanEnd);
         return f1_sum / static_cast<double>(data.examples.size());
       }
     }
     panic("unknown TaskKind");
+}
+
+double
+evaluate(const BertModel &model, const Dataset &data)
+{
+    return evaluate(ExecContext::serial(), model, data);
+}
+
+double
+evaluate(const InferenceSession &session, const Dataset &data)
+{
+    return evaluate(session.context(), session.model(), data);
 }
 
 } // namespace gobo

@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/context.hh"
+#include "exec/session.hh"
 #include "model/model.hh"
 
 namespace gobo {
@@ -134,9 +136,19 @@ Prediction predict(const BertModel &model, TaskKind kind,
 /**
  * Score a model against a dataset: accuracy, Spearman, or mean span
  * F1, depending on the task kind. Returned in [0 (or -1 for
- * Spearman), 1].
+ * Spearman), 1]. The context parallelizes *across* examples (each
+ * per-example forward stays serial), so the score is bit-identical on
+ * every backend.
  */
+double evaluate(const ExecContext &ctx, const BertModel &model,
+                const Dataset &data);
 double evaluate(const BertModel &model, const Dataset &data);
+
+/**
+ * Score an InferenceSession (FP32 engine) against a dataset under the
+ * session's own execution context.
+ */
+double evaluate(const InferenceSession &session, const Dataset &data);
 
 } // namespace gobo
 

@@ -8,7 +8,7 @@
 namespace gobo {
 
 Tensor
-matmul(const Tensor &a, const Tensor &b)
+matmul(const ExecContext &ctx, const Tensor &a, const Tensor &b)
 {
     fatalIf(a.rank() != 2 || b.rank() != 2, "matmul needs rank-2 tensors");
     fatalIf(a.cols() != b.rows(), "matmul shape mismatch: ", a.rows(), "x",
@@ -16,23 +16,35 @@ matmul(const Tensor &a, const Tensor &b)
 
     std::size_t m = a.rows(), k = a.cols(), n = b.cols();
     Tensor c(m, n);
-    // ikj order: the innermost loop walks contiguous rows of B and C.
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            float aik = a(i, kk);
-            if (aik == 0.0f)
-                continue;
-            const float *brow = b.row(kk).data();
-            float *crow = c.row(i).data();
-            for (std::size_t j = 0; j < n; ++j)
-                crow[j] += aik * brow[j];
+    // Row-blocked over C: each thread owns a contiguous block of
+    // output rows, so the per-row ikj reduction order (the innermost
+    // loop walks contiguous rows of B and C) is the same on every
+    // backend.
+    ctx.parallelRows(m, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                float aik = a(i, kk);
+                if (aik == 0.0f)
+                    continue;
+                const float *brow = b.row(kk).data();
+                float *crow = c.row(i).data();
+                for (std::size_t j = 0; j < n; ++j)
+                    crow[j] += aik * brow[j];
+            }
         }
-    }
+    });
     return c;
 }
 
 Tensor
-linear(const Tensor &x, const Tensor &w, const Tensor &bias)
+matmul(const Tensor &a, const Tensor &b)
+{
+    return matmul(ExecContext::serial(), a, b);
+}
+
+Tensor
+linear(const ExecContext &ctx, const Tensor &x, const Tensor &w,
+       const Tensor &bias)
 {
     fatalIf(x.rank() != 2 || w.rank() != 2, "linear needs rank-2 tensors");
     fatalIf(x.cols() != w.cols(), "linear shape mismatch: x ", x.rows(),
@@ -42,18 +54,46 @@ linear(const Tensor &x, const Tensor &w, const Tensor &bias)
 
     std::size_t seq = x.rows(), in = x.cols(), out = w.rows();
     Tensor y(seq, out);
-    for (std::size_t s = 0; s < seq; ++s) {
-        const float *xrow = x.row(s).data();
-        float *yrow = y.row(s).data();
-        for (std::size_t o = 0; o < out; ++o) {
-            const float *wrow = w.row(o).data();
-            float acc = bias(o);
-            for (std::size_t i = 0; i < in; ++i)
-                acc += xrow[i] * wrow[i];
-            yrow[o] = acc;
-        }
+    // [seq, out] output rows split by output feature when the sequence
+    // is short (the pooler runs at seq == 1), by sequence otherwise;
+    // either way one thread computes a given y(s, o) with the serial
+    // dot-product order.
+    if (seq >= out || !ctx.isParallel()) {
+        ctx.parallelRows(seq, [&](std::size_t s0, std::size_t s1) {
+            for (std::size_t s = s0; s < s1; ++s) {
+                const float *xrow = x.row(s).data();
+                float *yrow = y.row(s).data();
+                for (std::size_t o = 0; o < out; ++o) {
+                    const float *wrow = w.row(o).data();
+                    float acc = bias(o);
+                    for (std::size_t i = 0; i < in; ++i)
+                        acc += xrow[i] * wrow[i];
+                    yrow[o] = acc;
+                }
+            }
+        });
+    } else {
+        ctx.parallelRows(out, [&](std::size_t o0, std::size_t o1) {
+            for (std::size_t s = 0; s < seq; ++s) {
+                const float *xrow = x.row(s).data();
+                float *yrow = y.row(s).data();
+                for (std::size_t o = o0; o < o1; ++o) {
+                    const float *wrow = w.row(o).data();
+                    float acc = bias(o);
+                    for (std::size_t i = 0; i < in; ++i)
+                        acc += xrow[i] * wrow[i];
+                    yrow[o] = acc;
+                }
+            }
+        });
     }
     return y;
+}
+
+Tensor
+linear(const Tensor &x, const Tensor &w, const Tensor &bias)
+{
+    return linear(ExecContext::serial(), x, w, bias);
 }
 
 Tensor
@@ -70,20 +110,28 @@ add(const Tensor &a, const Tensor &b)
 }
 
 void
-softmaxRows(Tensor &x)
+softmaxRows(const ExecContext &ctx, Tensor &x)
 {
     fatalIf(x.rank() != 2, "softmaxRows needs a rank-2 tensor");
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-        auto row = x.row(r);
-        float mx = *std::max_element(row.begin(), row.end());
-        float sum = 0.0f;
-        for (auto &v : row) {
-            v = std::exp(v - mx);
-            sum += v;
+    ctx.parallelRows(x.rows(), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            auto row = x.row(r);
+            float mx = *std::max_element(row.begin(), row.end());
+            float sum = 0.0f;
+            for (auto &v : row) {
+                v = std::exp(v - mx);
+                sum += v;
+            }
+            for (auto &v : row)
+                v /= sum;
         }
-        for (auto &v : row)
-            v /= sum;
-    }
+    });
+}
+
+void
+softmaxRows(Tensor &x)
+{
+    softmaxRows(ExecContext::serial(), x);
 }
 
 void
@@ -104,29 +152,39 @@ tanhInplace(Tensor &x)
 }
 
 void
-layerNormInplace(Tensor &x, std::span<const float> gamma,
+layerNormInplace(const ExecContext &ctx, Tensor &x,
+                 std::span<const float> gamma,
                  std::span<const float> beta, float eps)
 {
     fatalIf(x.rank() != 2, "layerNormInplace needs a rank-2 tensor");
     fatalIf(gamma.size() != x.cols() || beta.size() != x.cols(),
             "layerNorm parameter size mismatch");
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-        auto row = x.row(r);
-        double mu = 0.0;
-        for (float v : row)
-            mu += v;
-        mu /= static_cast<double>(row.size());
-        double var = 0.0;
-        for (float v : row) {
-            double d = v - mu;
-            var += d * d;
+    ctx.parallelRows(x.rows(), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            auto row = x.row(r);
+            double mu = 0.0;
+            for (float v : row)
+                mu += v;
+            mu /= static_cast<double>(row.size());
+            double var = 0.0;
+            for (float v : row) {
+                double d = v - mu;
+                var += d * d;
+            }
+            var /= static_cast<double>(row.size());
+            auto inv = static_cast<float>(1.0 / std::sqrt(var + eps));
+            for (std::size_t c = 0; c < row.size(); ++c)
+                row[c] = (row[c] - static_cast<float>(mu)) * inv
+                         * gamma[c] + beta[c];
         }
-        var /= static_cast<double>(row.size());
-        auto inv = static_cast<float>(1.0 / std::sqrt(var + eps));
-        for (std::size_t c = 0; c < row.size(); ++c)
-            row[c] = (row[c] - static_cast<float>(mu)) * inv * gamma[c]
-                     + beta[c];
-    }
+    });
+}
+
+void
+layerNormInplace(Tensor &x, std::span<const float> gamma,
+                 std::span<const float> beta, float eps)
+{
+    layerNormInplace(ExecContext::serial(), x, gamma, beta, eps);
 }
 
 std::size_t

@@ -2,10 +2,14 @@
  * @file
  * Tensor operations used by the transformer forward pass.
  *
- * All operations are FP32 and single-threaded; the evaluation-scale
- * models are sized so the full experiment suite runs in minutes. The
- * matmul is cache-blocked with the inner kernel written ikj so the
- * compiler can vectorize the innermost contiguous loop.
+ * All operations are FP32. The hot ops (matmul, linear, softmaxRows,
+ * layerNormInplace) take an ExecContext and split their row dimension
+ * into blocks dispatched on the execution backend; the context-free
+ * overloads run serially. Parallel and serial runs are bit-identical:
+ * each output row is computed by exactly one thread with the same
+ * reduction order as the serial loop. The matmul inner kernel is
+ * written ikj so the compiler can vectorize the innermost contiguous
+ * loop.
  */
 
 #ifndef GOBO_TENSOR_OPS_HH
@@ -14,23 +18,28 @@
 #include <cstddef>
 #include <span>
 
+#include "exec/context.hh"
 #include "tensor/tensor.hh"
 
 namespace gobo {
 
 /** C = A[m,k] * B[k,n]. C is resized/overwritten. */
+Tensor matmul(const ExecContext &ctx, const Tensor &a, const Tensor &b);
 Tensor matmul(const Tensor &a, const Tensor &b);
 
 /**
  * y = x * W^T + bias, the Hugging Face Linear convention: x is
  * [seq, in], W is [out, in], bias is [out], result [seq, out].
  */
+Tensor linear(const ExecContext &ctx, const Tensor &x, const Tensor &w,
+              const Tensor &bias);
 Tensor linear(const Tensor &x, const Tensor &w, const Tensor &bias);
 
 /** Elementwise sum; shapes must match. */
 Tensor add(const Tensor &a, const Tensor &b);
 
 /** In-place row-wise softmax over the last dimension. */
+void softmaxRows(const ExecContext &ctx, Tensor &x);
 void softmaxRows(Tensor &x);
 
 /** In-place elementwise GELU (tanh approximation, as in BERT). */
@@ -43,6 +52,9 @@ void tanhInplace(Tensor &x);
  * In-place layer normalization over the last dimension with learned
  * scale gamma and shift beta (each [cols]).
  */
+void layerNormInplace(const ExecContext &ctx, Tensor &x,
+                      std::span<const float> gamma,
+                      std::span<const float> beta, float eps = 1e-5f);
 void layerNormInplace(Tensor &x, std::span<const float> gamma,
                       std::span<const float> beta, float eps = 1e-5f);
 

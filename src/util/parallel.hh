@@ -1,63 +1,41 @@
 /**
  * @file
- * Minimal deterministic parallel-for over an index range.
+ * Deterministic parallel-for over an index range — a thin wrapper
+ * around the persistent exec/threadpool.hh pool.
  *
- * Layer-granular work (one quantization per FC layer) is embarrassingly
- * parallel and each layer's PRNG stream is independent by
- * construction, so running the loop on N threads produces bit-identical
- * per-layer results in a deterministic order: workers pull indexes
- * from an atomic counter and write into index-addressed slots.
+ * Historically this spawned fresh threads per call; it now delegates
+ * to ThreadPool::shared() so every parallel loop in the repo reuses
+ * one set of workers. The determinism story is unchanged: workers
+ * pull indexes from an atomic counter and write into index-addressed
+ * slots, so N-thread runs produce bit-identical per-index results
+ * (layer-granular quantization keeps per-layer PRNG streams
+ * independent by construction).
  */
 
 #ifndef GOBO_UTIL_PARALLEL_HH
 #define GOBO_UTIL_PARALLEL_HH
 
-#include <atomic>
 #include <cstddef>
-#include <thread>
-#include <vector>
+
+#include "exec/threadpool.hh"
 
 namespace gobo {
 
 /**
- * Run fn(i) for every i in [0, count) on up to `threads` workers.
- * threads <= 1 runs inline. fn must be safe to call concurrently for
- * distinct i (typically it writes result[i] only).
+ * Run fn(i) for every i in [0, count) on up to `threads` threads
+ * (including the caller). threads <= 1 runs inline. fn must be safe
+ * to call concurrently for distinct i (typically it writes result[i]
+ * only).
  */
 template <typename Fn>
 void
 parallelFor(std::size_t count, std::size_t threads, Fn fn)
 {
-    if (threads <= 1 || count <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
-            fn(i);
-        return;
-    }
-
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            std::size_t i = next.fetch_add(1);
-            if (i >= count)
-                return;
-            fn(i);
-        }
-    };
-
-    std::size_t n_workers = std::min(threads, count);
-    std::vector<std::jthread> pool;
-    pool.reserve(n_workers);
-    for (std::size_t t = 0; t < n_workers; ++t)
-        pool.emplace_back(worker);
+    ThreadPool::shared().run(count, threads, fn);
 }
 
-/** A sensible default worker count for layer-granular work. */
-inline std::size_t
-defaultThreads()
-{
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
-}
+// defaultThreads() (GOBO_THREADS-aware) comes from exec/threadpool.hh
+// and is re-exported here for the existing call sites.
 
 } // namespace gobo
 

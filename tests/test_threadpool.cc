@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the persistent thread pool: reuse across submissions,
+ * worker capping, exception propagation, nested-submission fallback,
+ * and determinism of index-addressed results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/context.hh"
+#include "exec/threadpool.hh"
+
+namespace gobo {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexOnceAcrossManySubmissions)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::vector<std::atomic<int>> hits(97);
+        for (auto &h : hits)
+            h = 0;
+        pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+        for (auto &h : hits)
+            ASSERT_EQ(h.load(), 1) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, ReusesPersistentWorkers)
+{
+    // Across many submissions the pool only ever uses its fixed set
+    // of workers plus the calling thread — the spawn-per-call
+    // behaviour this pool replaced would show a new id every round.
+    ThreadPool pool(3);
+    std::mutex m;
+    std::set<std::thread::id> seen;
+    for (int round = 0; round < 50; ++round)
+        pool.run(64, [&](std::size_t) {
+            std::lock_guard lock(m);
+            seen.insert(std::this_thread::get_id());
+        });
+    EXPECT_LE(seen.size(), pool.workerCount() + 1);
+}
+
+TEST(ThreadPool, InlineWhenSerialOrTrivial)
+{
+    ThreadPool pool(4);
+    std::vector<int> order;
+    // parallelism 1: runs on the calling thread, in order, unlocked.
+    pool.run(5, 1, [&](std::size_t i) {
+        order.push_back(static_cast<int>(i));
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    // count 1 is inline too.
+    auto caller = std::this_thread::get_id();
+    pool.run(1, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+    // count 0 never calls fn.
+    pool.run(0, [&](std::size_t) { FAIL() << "called for empty range"; });
+}
+
+TEST(ThreadPool, CapsWorkersByWorkItemCount)
+{
+    ThreadPool pool(8);
+    std::mutex m;
+    std::set<std::thread::id> seen;
+    pool.run(2, [&](std::size_t) {
+        std::lock_guard lock(m);
+        seen.insert(std::this_thread::get_id());
+    });
+    // Two items: at most two threads (caller + one worker) touch them.
+    EXPECT_LE(seen.size(), 2u);
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    EXPECT_THROW(
+        pool.run(100,
+                 [&](std::size_t i) {
+                     ++calls;
+                     if (i == 13)
+                         throw std::runtime_error("boom");
+                 }),
+        std::runtime_error);
+    // The pool is still usable after an exception.
+    std::atomic<int> ok{0};
+    pool.run(10, [&](std::size_t) { ++ok; });
+    EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, NestedSubmissionRunsInline)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(16 * 8);
+    for (auto &h : hits)
+        h = 0;
+    // A submission from inside a worker must not deadlock on its own
+    // pool; it runs inline and the whole nest still covers every slot.
+    pool.run(16, [&](std::size_t outer) {
+        pool.run(8, [&](std::size_t inner) {
+            ++hits[outer * 8 + inner];
+        });
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SharedPoolSingleton)
+{
+    EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+    std::vector<std::atomic<int>> hits(33);
+    for (auto &h : hits)
+        h = 0;
+    ThreadPool::shared().run(hits.size(),
+                             [&](std::size_t i) { ++hits[i]; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, DeterministicIndexAddressedResults)
+{
+    // threads=1 and threads=N fill identical index-addressed slots.
+    ThreadPool pool(7);
+    std::vector<std::size_t> serial(1000), parallel(1000);
+    pool.run(serial.size(), 1,
+             [&](std::size_t i) { serial[i] = i * i + 3; });
+    pool.run(parallel.size(),
+             [&](std::size_t i) { parallel[i] = i * i + 3; });
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ExecContext, SerialByDefaultAndParallelFactory)
+{
+    ExecContext def;
+    EXPECT_EQ(def.backend, Backend::Serial);
+    EXPECT_FALSE(def.isParallel());
+
+    auto par = ExecContext::parallel(4);
+    EXPECT_EQ(par.backend, Backend::Parallel);
+    EXPECT_EQ(par.threads, 4u);
+    EXPECT_TRUE(par.isParallel());
+
+    // A one-thread "parallel" context degenerates to serial.
+    auto one = ExecContext::parallel(1);
+    EXPECT_FALSE(one.isParallel());
+}
+
+TEST(ExecContext, ParallelRowsCoversRangeExactlyOnce)
+{
+    auto ctx = ExecContext::parallel(4);
+    std::vector<std::atomic<int>> hits(1237);
+    for (auto &h : hits)
+        h = 0;
+    ctx.parallelRows(hits.size(), [&](std::size_t b, std::size_t e) {
+        ASSERT_LT(b, e);
+        for (std::size_t i = b; i < e; ++i)
+            ++hits[i];
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(DefaultThreads, HonorsEnvironmentOverride)
+{
+    setenv("GOBO_THREADS", "3", 1);
+    EXPECT_EQ(defaultThreads(), 3u);
+    setenv("GOBO_THREADS", "not-a-number", 1);
+    EXPECT_GE(defaultThreads(), 1u);
+    unsetenv("GOBO_THREADS");
+    EXPECT_GE(defaultThreads(), 1u);
+}
+
+} // namespace
+} // namespace gobo

@@ -9,11 +9,16 @@
  *                  [--threshold T]
  *   gobo decompress model.gobc --out model.gobm
  *   gobo inspect   model.gobm | model.gobc
+ *   gobo infer     model.gobm | model.gobc [--batch B] [--seq-len S]
+ *                  [--threads N] [--backend serial|parallel]
+ *                  [--engine fp32|qexec] [--seed N]
  *
  * `generate` writes a synthetic FP32 checkpoint (see model/generate);
  * `compress` produces the GOBC container and prints the per-layer
  * accounting; `decompress` decodes back to a plain FP32 model any
- * engine can consume; `inspect` prints what a file contains.
+ * engine can consume; `inspect` prints what a file contains; `infer`
+ * serves a batch of random sequences through an InferenceSession on
+ * the chosen execution backend and reports logits and tokens/sec.
  */
 
 #include <cstdio>
@@ -22,14 +27,19 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "core/container.hh"
+#include "core/qexec.hh"
 #include "core/quantizer.hh"
+#include "exec/session.hh"
 #include "model/footprint.hh"
 #include "model/generate.hh"
 #include "model/serialize.hh"
+#include "tensor/ops.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "util/table.hh"
 #include "util/timer.hh"
 
@@ -52,6 +62,10 @@ usage(const char *msg = nullptr)
         " [--threshold T]\n"
         "  gobo decompress IN.gobc --out OUT.gobm\n"
         "  gobo inspect   FILE\n"
+        "  gobo infer     FILE [--batch B] [--seq-len S] [--threads N]\n"
+        "                 [--backend serial|parallel]"
+        " [--engine fp32|qexec]\n"
+        "                 [--seed N]\n"
         "\nfamilies: bert-base bert-large distilbert roberta"
         " roberta-large\n",
         stderr);
@@ -249,6 +263,87 @@ cmdInspect(const Args &args)
     return 0;
 }
 
+int
+cmdInfer(const Args &args)
+{
+    if (args.positional.empty())
+        usage("infer needs a model file");
+    std::string path = args.positional[0];
+
+    // Execution backend flags.
+    std::size_t threads = std::stoul(args.get("threads", "0"));
+    std::string backend = args.get("backend", "parallel");
+    ExecContext ctx;
+    if (backend == "serial")
+        ctx = ExecContext::serial();
+    else if (backend == "parallel")
+        ctx = ExecContext::parallel(threads);
+    else
+        usage(("unknown backend: " + backend).c_str());
+
+    auto batch_size = std::stoul(args.get("batch", "8"));
+    auto seq_len = std::stoul(args.get("seq-len", "32"));
+    auto seed = std::strtoull(args.get("seed", "42").c_str(), nullptr,
+                              10);
+    std::string engine = args.get("engine", "fp32");
+    if (batch_size == 0 || seq_len == 0)
+        usage("batch and seq-len must be positive");
+
+    std::ifstream is(path, std::ios::binary);
+    fatalIf(!is, "cannot open ", path);
+    char magic[5] = {};
+    is.read(magic, 4);
+    fatalIf(!is, "cannot read ", path);
+    is.close();
+    bool is_container = std::memcmp(magic, "CBOG", 4) == 0;
+    BertModel model = is_container ? loadCompressedModel(path)
+                                   : loadModel(path);
+    fatalIf(seq_len > model.config().maxPosition, "seq-len ", seq_len,
+            " exceeds maxPosition ", model.config().maxPosition);
+
+    Rng rng(seed * 31 + 5);
+    TokenBatch batch;
+    for (std::size_t s = 0; s < batch_size; ++s) {
+        std::vector<std::int32_t> seq;
+        for (std::size_t t = 0; t < seq_len; ++t)
+            seq.push_back(static_cast<std::int32_t>(rng.integer(
+                0,
+                static_cast<int>(model.config().vocabSize) - 1)));
+        batch.push_back(std::move(seq));
+    }
+
+    std::optional<InferenceSession> session;
+    if (engine == "qexec") {
+        ModelQuantOptions qopt;
+        qopt.threads = ctx.isParallel() ? ctx.threads : 1;
+        session.emplace(QuantizedBertModel(model, qopt), ctx);
+    } else if (engine == "fp32") {
+        session.emplace(std::move(model), ctx);
+    } else {
+        usage(("unknown engine: " + engine).c_str());
+    }
+
+    std::printf("%s engine, %s backend (%zu threads), batch %zu x %zu"
+                " tokens\n",
+                engine.c_str(), backendName(ctx.backend), ctx.threads,
+                batch_size, seq_len);
+    WallTimer timer;
+    auto logits = session->headLogitsBatch(batch);
+    double secs = timer.seconds();
+
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        std::printf("seq %2zu: argmax %zu, logits [", i,
+                    argmax(logits[i].flat()));
+        for (std::size_t j = 0; j < logits[i].size(); ++j)
+            std::printf("%s%.4f", j ? ", " : "", logits[i](j));
+        std::puts("]");
+    }
+    std::printf("\n%.1f tokens/sec (%.1f ms for %zu tokens)\n",
+                static_cast<double>(batch_size * seq_len) / secs,
+                secs * 1e3, batch_size * seq_len);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -267,9 +362,15 @@ main(int argc, char **argv)
             return cmdDecompress(args);
         if (cmd == "inspect")
             return cmdInspect(args);
+        if (cmd == "infer")
+            return cmdInfer(args);
         usage(("unknown command: " + cmd).c_str());
     } catch (const gobo::FatalError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());
         return 1;
+    } catch (const std::exception &e) {
+        // Malformed numeric flags (std::stoul and friends) land here.
+        std::fprintf(stderr, "error: bad argument (%s)\n", e.what());
+        return 2;
     }
 }
