@@ -38,6 +38,7 @@ struct Result
     std::string engine;
     std::string backend;
     double tokensPerSec = 0.0;
+    std::size_t residentBytes = 0;
 };
 
 double
@@ -132,23 +133,60 @@ main(int argc, char **argv)
         results.push_back({"fp32", "serial", fp32_serial});
         results.push_back({"fp32", "parallel", fp32_parallel});
     }
+    std::size_t q_resident = 0, packed_resident = 0;
     {
         InferenceSession s_q(QuantizedBertModel(model, qopt), serial);
         InferenceSession p_q(QuantizedBertModel(model, qopt), parallel);
+        qopt.format = WeightFormat::Packed;
+        InferenceSession s_pk(QuantizedBertModel(model, qopt), serial);
+        InferenceSession p_pk(QuantizedBertModel(model, qopt), parallel);
+        // Format contract: Packed serves bit-identical logits from
+        // ~B/8 of the Unpacked engine's index bytes.
+        auto a = s_q.headLogitsBatch(batch);
+        auto b = s_pk.headLogitsBatch(batch);
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            for (std::size_t j = 0; j < a[i].size(); ++j)
+                if (a[i](j) != b[i](j)) {
+                    std::fprintf(stderr,
+                                 "format mismatch at [%zu][%zu]\n", i,
+                                 j);
+                    return 1;
+                }
+        q_resident = s_q.residentWeightBytes();
+        packed_resident = s_pk.residentWeightBytes();
         double q_serial = timeBatches(s_q, batch, reps);
         q_parallel = timeBatches(p_q, batch, reps);
-        results.push_back({"qexec", "serial", q_serial});
-        results.push_back({"qexec", "parallel", q_parallel});
+        results.push_back({"qexec", "serial", q_serial, q_resident});
+        results.push_back({"qexec", "parallel", q_parallel, q_resident});
+        double pk_serial = timeBatches(s_pk, batch, reps);
+        double pk_parallel = timeBatches(p_pk, batch, reps);
+        results.push_back(
+            {"qpacked", "serial", pk_serial, packed_resident});
+        results.push_back(
+            {"qpacked", "parallel", pk_parallel, packed_resident});
     }
+    std::size_t fp32_resident = cfg.fcWeightParams() * sizeof(float);
+    results[0].residentBytes = fp32_resident;
+    results[1].residentBytes = fp32_resident;
 
-    ConsoleTable t({"Engine", "Backend", "Tokens/sec", "Speedup"});
+    ConsoleTable t(
+        {"Engine", "Backend", "Tokens/sec", "Speedup", "Resident KiB"});
     for (const auto &r : results) {
         double base = r.engine == "fp32" ? fp32_serial
                                          : results[2].tokensPerSec;
         t.addRow({r.engine, r.backend, ConsoleTable::num(r.tokensPerSec, 0),
-                  ConsoleTable::num(r.tokensPerSec / base, 2) + "x"});
+                  ConsoleTable::num(r.tokensPerSec / base, 2) + "x",
+                  ConsoleTable::num(
+                      static_cast<double>(r.residentBytes) / 1024.0,
+                      1)});
     }
     t.print(std::cout);
+
+    std::printf("\nresident weight bytes: fp32 %zu, unpacked %zu,"
+                " packed %zu (packed/fp32 = %.4f)\n",
+                fp32_resident, q_resident, packed_resident,
+                static_cast<double>(packed_resident)
+                    / static_cast<double>(fp32_resident));
 
     double speedup = fp32_parallel / fp32_serial;
     std::printf("\nparallel FP32 speedup over serial: %.2fx on %zu"
@@ -165,15 +203,20 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < results.size(); ++i)
             std::fprintf(json,
                          "    {\"engine\": \"%s\", \"backend\": \"%s\","
-                         " \"tokens_per_sec\": %.1f}%s\n",
+                         " \"tokens_per_sec\": %.1f,"
+                         " \"resident_bytes\": %zu}%s\n",
                          results[i].engine.c_str(),
                          results[i].backend.c_str(),
                          results[i].tokensPerSec,
+                         results[i].residentBytes,
                          i + 1 < results.size() ? "," : "");
         std::fprintf(json,
                      "  ],\n  \"fp32_parallel_speedup\": %.3f,\n"
-                     "  \"qexec_parallel_tokens_per_sec\": %.1f\n}\n",
-                     speedup, q_parallel);
+                     "  \"qexec_parallel_tokens_per_sec\": %.1f,\n"
+                     "  \"packed_resident_over_fp32\": %.5f\n}\n",
+                     speedup, q_parallel,
+                     static_cast<double>(packed_resident)
+                         / static_cast<double>(fp32_resident));
         std::fclose(json);
         std::puts("wrote BENCH_forward.json");
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "model/footprint.hh"
 #include "nn/encoder.hh"
 #include "tensor/ops.hh"
 #include "util/bitstream.hh"
@@ -10,19 +11,32 @@
 
 namespace gobo {
 
-QuantizedLinear::QuantizedLinear(QuantizedTensor w, Tensor b)
-    : weights(std::move(w)), bias(std::move(b))
+QuantizedLinear::QuantizedLinear(QuantizedTensor w, Tensor b,
+                                 WeightFormat format)
+    : weights(std::move(w)), bias(std::move(b)), fmt(format)
 {
     weights.check();
     fatalIf(bias.size() != weights.rows, "QuantizedLinear bias size ",
             bias.size(), " != out features ", weights.rows);
 
-    // Unpack the index stream once; B <= 8 so a byte per weight.
-    auto idx32 = unpackIndexes(weights.packedIndexes, weights.bits,
-                               weights.elementCount());
-    indexes.reserve(idx32.size());
-    for (auto v : idx32)
-        indexes.push_back(static_cast<std::uint8_t>(v));
+    if (fmt == WeightFormat::Unpacked) {
+        // Widen the index stream once; B <= 8 so a byte per weight.
+        auto idx32 = unpackIndexes(weights.packedIndexes, weights.bits,
+                                   weights.elementCount());
+        indexes.reserve(idx32.size());
+        for (auto v : idx32)
+            indexes.push_back(static_cast<std::uint8_t>(v));
+    } else if (8 % weights.bits == 0) {
+        // Packed, B dividing 8: each byte holds exactly 8/B indexes,
+        // so one 256-row table decodes a whole byte per lookup.
+        unsigned per_byte = 8 / weights.bits;
+        std::uint32_t mask = (1u << weights.bits) - 1u;
+        decodeLut.resize(std::size_t{256} * per_byte);
+        for (std::uint32_t v = 0; v < 256; ++v)
+            for (unsigned j = 0; j < per_byte; ++j)
+                decodeLut[v * per_byte + j] = static_cast<std::uint8_t>(
+                    (v >> (j * weights.bits)) & mask);
+    }
 
     // Group outlier corrections by row. The index slot under an
     // outlier still contributes its centroid through the bucket sums,
@@ -34,12 +48,74 @@ QuantizedLinear::QuantizedLinear(QuantizedTensor w, Tensor b)
         std::uint32_t row = pos / static_cast<std::uint32_t>(weights.cols);
         std::uint32_t col = pos % static_cast<std::uint32_t>(weights.cols);
         float correction = weights.outlierValues[o]
-                           - weights.centroids[indexes[pos]];
+                           - weights.centroids[weights.indexAt(pos)];
         outliers.push_back({col, correction});
         ++outlierRowStart[row + 1];
     }
     for (std::size_t r = 0; r < weights.rows; ++r)
         outlierRowStart[r + 1] += outlierRowStart[r];
+}
+
+void
+QuantizedLinear::decodeRow(std::size_t row, std::uint8_t *out) const
+{
+    const std::uint8_t *bytes = weights.packedIndexes.data();
+    const unsigned b = weights.bits;
+    const std::size_t n = weights.cols;
+    const std::uint32_t mask = (1u << b) - 1u;
+    std::size_t bit = row * n * b;
+    std::size_t i = 0;
+
+    // Scalar fallback: one index through a two-byte window. Also
+    // decodes the unaligned head and the tail around the bulk paths.
+    auto scalar = [&](std::size_t upto) {
+        for (; i < upto; ++i, bit += b) {
+            std::size_t byte = bit / 8;
+            auto shift = static_cast<unsigned>(bit % 8);
+            std::uint32_t window = bytes[byte];
+            if (shift + b > 8)
+                window |= static_cast<std::uint32_t>(bytes[byte + 1])
+                          << 8;
+            out[i] = static_cast<std::uint8_t>((window >> shift) & mask);
+        }
+    };
+
+    if (!decodeLut.empty()) {
+        // B divides 8: align to a byte, then one LUT row per byte.
+        unsigned per_byte = 8 / b;
+        while (i < n && bit % 8 != 0)
+            scalar(i + 1);
+        std::size_t byte = bit / 8;
+        while (n - i >= per_byte) {
+            const std::uint8_t *e =
+                decodeLut.data() + std::size_t{bytes[byte]} * per_byte;
+            std::copy(e, e + per_byte, out + i);
+            i += per_byte;
+            bit += 8;
+            ++byte;
+        }
+        scalar(n);
+    } else if (b == 3) {
+        // Align to a 24-bit group: 3 bytes hold 8 whole 3-bit indexes.
+        while (i < n && bit % 24 != 0)
+            scalar(i + 1);
+        std::size_t byte = bit / 8;
+        while (n - i >= 8) {
+            std::uint32_t g =
+                bytes[byte]
+                | static_cast<std::uint32_t>(bytes[byte + 1]) << 8
+                | static_cast<std::uint32_t>(bytes[byte + 2]) << 16;
+            for (unsigned j = 0; j < 8; ++j)
+                out[i + j] =
+                    static_cast<std::uint8_t>((g >> (3 * j)) & 7u);
+            i += 8;
+            bit += 24;
+            byte += 3;
+        }
+        scalar(n);
+    } else {
+        scalar(n);
+    }
 }
 
 Tensor
@@ -58,27 +134,38 @@ QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
     // vector (the accelerator's per-lane accumulators) and counts its
     // own operations. y(s, o) is touched by exactly one block and its
     // bucket/table/correction order matches the serial loop, so
-    // backends are bit-identical; block OpCounts are reduced in index
-    // order below.
+    // backends — and the two weight formats — are bit-identical; block
+    // OpCounts are reduced in index order below. The weight row is the
+    // outer loop so a Packed layer decodes each row's indexes exactly
+    // once per forward, amortized over the whole sequence.
     std::size_t blocks =
         ctx.isParallel() ? std::min(out, ctx.threads * 4) : 1;
     std::size_t block = (out + blocks - 1) / blocks;
     std::vector<OpCounts> block_counts(counts ? blocks : 0);
+    bool packed = fmt == WeightFormat::Packed;
 
     ctx.parallelFor(blocks, [&](std::size_t b) {
         std::size_t o0 = b * block;
         std::size_t o1 = std::min(o0 + block, out);
         std::vector<double> bucket(k);
+        std::vector<std::uint8_t> row_scratch(packed ? in : 0);
         OpCounts local;
-        for (std::size_t s = 0; s < seq; ++s) {
-            const float *xrow = x.row(s).data();
-            float *yrow = y.row(s).data();
-            for (std::size_t o = o0; o < o1; ++o) {
+        for (std::size_t o = o0; o < o1; ++o) {
+            const std::uint8_t *irow;
+            if (packed) {
+                decodeRow(o, row_scratch.data());
+                irow = row_scratch.data();
+            } else {
+                irow = indexes.data() + o * in;
+            }
+            std::uint32_t o_begin = outlierRowStart[o];
+            std::uint32_t o_end = outlierRowStart[o + 1];
+            for (std::size_t s = 0; s < seq; ++s) {
+                const float *xrow = x.row(s).data();
                 // Phase 1: additions only — steer activations into
                 // the per-centroid buckets (the accelerator's
                 // accumulators).
                 std::fill(bucket.begin(), bucket.end(), 0.0);
-                const std::uint8_t *irow = indexes.data() + o * in;
                 for (std::size_t i = 0; i < in; ++i)
                     bucket[irow[i]] += xrow[i];
                 // Phase 2: one multiply per centroid.
@@ -87,12 +174,10 @@ QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
                     acc += static_cast<double>(weights.centroids[c])
                            * bucket[c];
                 // Phase 3: one correction MAC per outlier in this row.
-                std::uint32_t o_begin = outlierRowStart[o];
-                std::uint32_t o_end = outlierRowStart[o + 1];
                 for (std::uint32_t oi = o_begin; oi < o_end; ++oi)
                     acc += static_cast<double>(outliers[oi].correction)
                            * xrow[outliers[oi].column];
-                yrow[o] = static_cast<float>(acc);
+                y.row(s).data()[o] = static_cast<float>(acc);
                 if (counts) {
                     local.additions += in + k + (o_end - o_begin);
                     local.multiplications += k + (o_end - o_begin);
@@ -136,6 +221,17 @@ QuantizedLinear::denseOpCounts(std::size_t seq) const
     return ops;
 }
 
+std::size_t
+QuantizedLinear::residentBytes() const
+{
+    std::size_t n = weights.elementCount();
+    std::size_t c = weights.centroids.size();
+    std::size_t o = outliers.size();
+    return fmt == WeightFormat::Packed
+               ? packedResidentBytes(n, weights.bits, c, o)
+               : unpackedResidentBytes(n, c, o);
+}
+
 namespace {
 
 QuantizedLinear
@@ -144,7 +240,7 @@ makeLayer(const Tensor &w, const Tensor &b, FcKind kind,
 {
     GoboConfig cfg = options.base;
     cfg.bits = options.effectiveBits(kind, encoder);
-    return {quantizeTensor(w, cfg), b};
+    return {quantizeTensor(w, cfg), b, options.format};
 }
 
 } // namespace
@@ -152,6 +248,7 @@ makeLayer(const Tensor &w, const Tensor &b, FcKind kind,
 QuantizedBertModel::QuantizedBertModel(const BertModel &model,
                                        const ModelQuantOptions &options)
     : cfg(model.config()),
+      fmt(options.format),
       wordEmbedding(model.wordEmbedding),
       positionEmbedding(model.positionEmbedding),
       embLnGamma(model.embLnGamma),
@@ -300,6 +397,22 @@ QuantizedBertModel::compressedWeightBytes() const
         bytes += enc.out.compressed().payloadBytes();
     }
     bytes += pooler.compressed().payloadBytes();
+    return bytes;
+}
+
+std::size_t
+QuantizedBertModel::residentWeightBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &enc : encoders) {
+        bytes += enc.query.residentBytes();
+        bytes += enc.key.residentBytes();
+        bytes += enc.value.residentBytes();
+        bytes += enc.attnOut.residentBytes();
+        bytes += enc.inter.residentBytes();
+        bytes += enc.out.residentBytes();
+    }
+    bytes += pooler.residentBytes();
     return bytes;
 }
 

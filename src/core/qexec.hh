@@ -50,12 +50,22 @@ struct OpCounts
  * An FC layer executed directly from its compressed representation:
  * y = x * W^T + bias with W held as (indexes, centroid table,
  * outliers) — never decoded to FP32.
+ *
+ * The index stream can be held in either WeightFormat: Unpacked widens
+ * every index to one byte at construction (decode-free access, ~8/B
+ * times the container bytes resident); Packed keeps only the B-bit
+ * stream resident and decodes one output row at a time inside the
+ * bucket-accumulation kernel, through a per-byte LUT (B dividing 8), a
+ * per-3-byte-group extraction (B = 3), or a scalar two-byte window
+ * (B = 5..7). Both formats feed the identical bucket/table/correction
+ * arithmetic, so their outputs are bit-identical.
  */
 class QuantizedLinear
 {
   public:
     /** Take ownership of the compressed weights and FP32 bias. */
-    QuantizedLinear(QuantizedTensor weights, Tensor bias);
+    QuantizedLinear(QuantizedTensor weights, Tensor bias,
+                    WeightFormat format = WeightFormat::Unpacked);
 
     /**
      * Forward pass via per-centroid accumulation. x is [seq, in].
@@ -84,11 +94,31 @@ class QuantizedLinear
     /** The compressed weights (for storage accounting). */
     const QuantizedTensor &compressed() const { return weights; }
 
+    /** How the index stream is held at runtime. */
+    WeightFormat format() const { return fmt; }
+
+    /**
+     * Bytes of weight state the forward pass actually streams: the
+     * index store in its runtime format plus the centroid table and
+     * outlier pairs (bias excluded, matching the paper's FC-weights
+     * accounting).
+     */
+    std::size_t residentBytes() const;
+
   private:
+    /** Decode row `row`'s `cols` indexes from the packed stream. */
+    void decodeRow(std::size_t row, std::uint8_t *out) const;
+
     QuantizedTensor weights;
     Tensor bias;
-    /** Unpacked per-weight centroid indexes, row-major. */
+    WeightFormat fmt;
+    /** Unpacked per-weight centroid indexes, row-major (Unpacked only). */
     std::vector<std::uint8_t> indexes;
+    /**
+     * Per-byte decode table (Packed, B dividing 8): 256 rows of the
+     * 8/B indexes each byte value contains, LSB-first.
+     */
+    std::vector<std::uint8_t> decodeLut;
     /** One (column, correction) pair per outlier, grouped by row. */
     struct OutlierRef
     {
@@ -103,7 +133,8 @@ class QuantizedLinear
  * A whole model executing its FC layers from the compressed format.
  * Embeddings/biases/norms stay FP32 (as in the paper); the forward
  * pass mirrors nn/encoder exactly, so predictions match a decoded
- * model up to FP reassociation.
+ * model up to FP reassociation. All FC layers share one WeightFormat
+ * (options.format); Packed and Unpacked models are bit-identical.
  */
 class QuantizedBertModel
 {
@@ -134,6 +165,12 @@ class QuantizedBertModel
     /** Compressed bytes of all FC weights. */
     std::size_t compressedWeightBytes() const;
 
+    /** Sum of QuantizedLinear::residentBytes over all FC layers. */
+    std::size_t residentWeightBytes() const;
+
+    /** The runtime index format every FC layer uses. */
+    WeightFormat format() const { return fmt; }
+
     const ModelConfig &config() const { return cfg; }
 
   private:
@@ -144,6 +181,7 @@ class QuantizedBertModel
     };
 
     ModelConfig cfg;
+    WeightFormat fmt;
     Tensor wordEmbedding, positionEmbedding, embLnGamma, embLnBeta;
     std::vector<EncoderLayers> encoders;
     QuantizedLinear pooler;

@@ -69,6 +69,17 @@ QuantizedTensor::check() const
             "QuantizedTensor centroids not ascending");
     fatalIf(packedIndexes.size() != (elementCount() * bits + 7) / 8,
             "QuantizedTensor packed payload size mismatch");
+    // Every packed index must address the centroid table. A container
+    // whose table deduplicated below 2^bits entries (or was corrupted
+    // on disk) would otherwise be an out-of-bounds read in the
+    // execution engines, which index without re-checking.
+    if (centroids.size() < (std::size_t{1} << bits)) {
+        BitReader reader(packedIndexes.data(), elementCount() * bits);
+        for (std::size_t i = 0; i < elementCount(); ++i)
+            fatalIf(reader.get(bits) >= centroids.size(),
+                    "QuantizedTensor packed index out of centroid "
+                    "table of ", centroids.size());
+    }
     fatalIf(outlierPositions.size() != outlierValues.size(),
             "QuantizedTensor outlier position/value count mismatch");
     fatalIf(!std::is_sorted(outlierPositions.begin(),
@@ -95,6 +106,20 @@ QuantizedTensor::dequantize() const
     for (std::size_t o = 0; o < outlierPositions.size(); ++o)
         flat[outlierPositions[o]] = outlierValues[o];
     return t;
+}
+
+std::uint32_t
+QuantizedTensor::indexAt(std::size_t pos) const
+{
+    fatalIf(pos >= elementCount(), "indexAt position ", pos,
+            " out of range ", elementCount());
+    std::size_t bit = pos * bits;
+    std::size_t byte = bit / 8;
+    auto shift = static_cast<unsigned>(bit % 8);
+    std::uint32_t window = packedIndexes[byte];
+    if (shift + bits > 8)
+        window |= static_cast<std::uint32_t>(packedIndexes[byte + 1]) << 8;
+    return (window >> shift) & ((1u << bits) - 1u);
 }
 
 std::size_t

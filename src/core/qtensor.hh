@@ -40,6 +40,13 @@ class QuantizedTensor
     Tensor dequantize() const;
 
     /**
+     * The B-bit index stored at flat position `pos`, read from the
+     * packed stream without unpacking (an index spans at most two
+     * bytes since B <= 8).
+     */
+    std::uint32_t indexAt(std::size_t pos) const;
+
+    /**
      * Exact storage cost in bits: packed indexes + centroid table +
      * outliers at 32b value + 32b position each. This is the quantity
      * the paper's compression ratios are built from.

@@ -20,6 +20,7 @@
 
 #include "core/cluster.hh"
 #include "core/qtensor.hh"
+#include "exec/context.hh"
 #include "model/config.hh"
 #include "model/model.hh"
 #include "tensor/tensor.hh"
@@ -82,6 +83,13 @@ struct ModelQuantOptions
      * matching the paper's deployment claim.
      */
     std::size_t threads = 1;
+    /**
+     * Runtime index format for compressed-domain engines built from
+     * these options (QuantizedBertModel). Packed keeps the B-bit
+     * stream resident; Unpacked widens to a byte per weight. The two
+     * are bit-identical on outputs.
+     */
+    WeightFormat format = WeightFormat::Unpacked;
 
     /** Effective width for one layer. */
     unsigned effectiveBits(FcKind kind, std::size_t encoder) const;

@@ -23,6 +23,20 @@ InferenceSession::model() const
     return *fp32;
 }
 
+WeightFormat
+InferenceSession::weightFormat() const
+{
+    return quantized ? quantized->format() : WeightFormat::Unpacked;
+}
+
+std::size_t
+InferenceSession::residentWeightBytes() const
+{
+    if (quantized)
+        return quantized->residentWeightBytes();
+    return fp32->config().fcWeightParams() * sizeof(float);
+}
+
 const ModelConfig &
 InferenceSession::config() const
 {

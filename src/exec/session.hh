@@ -44,6 +44,19 @@ class InferenceSession
     /** True when executing from the compressed format. */
     bool compressed() const { return quantized.has_value(); }
 
+    /**
+     * Runtime index format of the compressed engine (Unpacked for an
+     * FP32 session, which has no index stream).
+     */
+    WeightFormat weightFormat() const;
+
+    /**
+     * Bytes of FC-weight state the forward pass streams: FP32 weights
+     * for the dense engine, the runtime-format index stream plus
+     * centroid/outlier state for the compressed one.
+     */
+    std::size_t residentWeightBytes() const;
+
     const ExecContext &context() const { return ctx; }
 
     /** Rebind the execution context (e.g. to switch backends). */

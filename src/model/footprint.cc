@@ -1,5 +1,7 @@
 #include "model/footprint.hh"
 
+#include <cstdint>
+
 namespace gobo {
 
 Footprint
@@ -14,6 +16,33 @@ footprint(const ModelConfig &config, std::size_t sequence_length)
     f.activationBytes = sequence_length * config.intermediate
                         * sizeof(float);
     return f;
+}
+
+namespace {
+
+/** Bytes of the centroid table plus the kernel's outlier pairs. */
+std::size_t
+tableAndOutlierBytes(std::size_t centroid_count, std::size_t outlier_count)
+{
+    return centroid_count * sizeof(float)
+           + outlier_count * (sizeof(std::uint32_t) + sizeof(float));
+}
+
+} // namespace
+
+std::size_t
+unpackedResidentBytes(std::size_t elements, std::size_t centroid_count,
+                      std::size_t outlier_count)
+{
+    return elements + tableAndOutlierBytes(centroid_count, outlier_count);
+}
+
+std::size_t
+packedResidentBytes(std::size_t elements, unsigned bits,
+                    std::size_t centroid_count, std::size_t outlier_count)
+{
+    return (elements * bits + 7) / 8
+           + tableAndOutlierBytes(centroid_count, outlier_count);
 }
 
 double

@@ -44,6 +44,24 @@ readU32(std::istream &is)
     return v;
 }
 
+/**
+ * Largest plausible tensor dimension / element count in a model file.
+ * The biggest real tensor in scope (BERT-Large word embedding) is
+ * ~31M elements; 2^31 leaves two orders of magnitude headroom while a
+ * corrupt u64 header would otherwise request a multi-TB allocation
+ * and die on bad_alloc instead of a clean fatal.
+ */
+constexpr std::uint64_t dimCeiling = std::uint64_t{1} << 31;
+
+std::uint64_t
+readDim(std::istream &is, const char *what)
+{
+    std::uint64_t v = readU64(is);
+    fatalIf(v > dimCeiling, "model stream corrupt: ", what, " ", v,
+            " exceeds plausible ceiling ", dimCeiling);
+    return v;
+}
+
 template <typename Model, typename Fn>
 void
 forEachTensor(Model &m, Fn fn)
@@ -86,10 +104,13 @@ readTensor(std::istream &is)
     fatalIf(rank > 2, "tensor rank ", rank, " unsupported");
     Tensor t;
     if (rank == 1) {
-        t = Tensor(static_cast<std::size_t>(readU64(is)));
+        t = Tensor(static_cast<std::size_t>(readDim(is, "tensor length")));
     } else if (rank == 2) {
-        std::size_t r = static_cast<std::size_t>(readU64(is));
-        std::size_t c = static_cast<std::size_t>(readU64(is));
+        std::size_t r = static_cast<std::size_t>(readDim(is, "tensor rows"));
+        std::size_t c = static_cast<std::size_t>(readDim(is, "tensor cols"));
+        fatalIf(r != 0 && c > dimCeiling / r,
+                "model stream corrupt: tensor ", r, "x", c,
+                " exceeds plausible ceiling ", dimCeiling);
         t = Tensor(r, c);
     }
     auto flat = t.flat();
@@ -136,21 +157,24 @@ loadModel(std::istream &is)
     fatalIf(version != modelVersion, "unsupported model version ",
             version);
 
+    // The config dims size every tensor BertModel(c) allocates below,
+    // so they go through the same ceiling as raw tensor headers.
     ModelConfig c;
     c.family = static_cast<ModelFamily>(readU32(is));
-    c.numLayers = static_cast<std::size_t>(readU64(is));
-    c.hidden = static_cast<std::size_t>(readU64(is));
-    c.intermediate = static_cast<std::size_t>(readU64(is));
-    c.numHeads = static_cast<std::size_t>(readU64(is));
-    c.vocabSize = static_cast<std::size_t>(readU64(is));
-    c.maxPosition = static_cast<std::size_t>(readU64(is));
+    c.numLayers = static_cast<std::size_t>(readDim(is, "numLayers"));
+    c.hidden = static_cast<std::size_t>(readDim(is, "hidden"));
+    c.intermediate = static_cast<std::size_t>(readDim(is, "intermediate"));
+    c.numHeads = static_cast<std::size_t>(readDim(is, "numHeads"));
+    c.vocabSize = static_cast<std::size_t>(readDim(is, "vocabSize"));
+    c.maxPosition = static_cast<std::size_t>(readDim(is, "maxPosition"));
     std::size_t name_len = static_cast<std::size_t>(readU64(is));
     fatalIf(name_len > 4096, "model name length ", name_len,
             " implausible");
     c.name.resize(name_len);
     is.read(c.name.data(), static_cast<std::streamsize>(name_len));
     fatalIf(!is, "model stream truncated reading name");
-    std::size_t head_outputs = static_cast<std::size_t>(readU64(is));
+    std::size_t head_outputs
+        = static_cast<std::size_t>(readDim(is, "head outputs"));
 
     BertModel m(c);
     m.resizeHead(head_outputs);

@@ -23,9 +23,10 @@ matmul(const ExecContext &ctx, const Tensor &a, const Tensor &b)
     ctx.parallelRows(m, [&](std::size_t r0, std::size_t r1) {
         for (std::size_t i = r0; i < r1; ++i) {
             for (std::size_t kk = 0; kk < k; ++kk) {
+                // No skip on aik == 0: 0 * Inf and 0 * NaN must reach
+                // the accumulator (IEEE), or the result silently
+                // diverges from any reference dense matmul.
                 float aik = a(i, kk);
-                if (aik == 0.0f)
-                    continue;
                 const float *brow = b.row(kk).data();
                 float *crow = c.row(i).data();
                 for (std::size_t j = 0; j < n; ++j)

@@ -31,8 +31,12 @@ BitWriter::put(std::uint32_t value, unsigned bits)
 std::vector<std::uint8_t>
 BitWriter::take()
 {
+    std::vector<std::uint8_t> out = std::move(buf);
+    // A moved-from vector has valid but unspecified contents; clear it
+    // so the writer is genuinely empty and safe to reuse.
+    buf.clear();
     nBits = 0;
-    return std::move(buf);
+    return out;
 }
 
 std::uint32_t

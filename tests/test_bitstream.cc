@@ -62,6 +62,34 @@ TEST(BitWriter, TakeResetsState)
     EXPECT_EQ(w.bitCount(), 1u);
 }
 
+TEST(BitWriter, ReusableAfterTake)
+{
+    // Regression: take() used to leave the backing vector moved-from,
+    // so a subsequent put() indexed into unspecified state. A reused
+    // writer must produce a pristine second stream.
+    BitWriter w;
+    w.put(0b101, 3);
+    w.put(0xab, 8);
+    auto first = w.take();
+    EXPECT_EQ(first.size(), 2u);
+    EXPECT_TRUE(w.bytes().empty());
+    EXPECT_EQ(w.byteCount(), 0u);
+
+    w.put(0b11, 2);
+    w.put(0x3c, 6);
+    EXPECT_EQ(w.bitCount(), 8u);
+    auto second = w.take();
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0], 0b11110011);
+
+    // And a third round, to make sure reuse is stable, not one-shot.
+    w.put(0xffff, 16);
+    auto third = w.take();
+    ASSERT_EQ(third.size(), 2u);
+    EXPECT_EQ(third[0], 0xff);
+    EXPECT_EQ(third[1], 0xff);
+}
+
 TEST(BitWriter, RejectsZeroAndOverwideWidths)
 {
     BitWriter w;

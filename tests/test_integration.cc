@@ -10,6 +10,7 @@
 
 #include "baselines/q8bert.hh"
 #include "baselines/qbert.hh"
+#include "core/qexec.hh"
 #include "core/quantizer.hh"
 #include "memsim/memsim.hh"
 #include "model/generate.hh"
@@ -17,6 +18,7 @@
 #include "nn/encoder.hh"
 #include "task/task.hh"
 #include "tensor/ops.hh"
+#include "util/rng.hh"
 
 namespace gobo {
 namespace {
@@ -45,6 +47,46 @@ TEST(Integration, QuantizeSerializedModelAndInfer)
     EXPECT_GT(report.totalCompressionRatio(), 6.5);
     double quantized_score = evaluate(reloaded, data);
     EXPECT_GT(quantized_score, baseline - 0.08);
+}
+
+TEST(Integration, DegenerateLayerSurvivesFullPipelineBothFormats)
+{
+    // A layer with fewer distinct weights than 2^B dedupes its
+    // centroid table below 2^B entries. That degenerate shape must
+    // survive quantize -> serialize -> load -> forward in both weight
+    // formats with correct (and format-identical) output.
+    Tensor w(12, 10);
+    auto flat = w.flat();
+    for (std::size_t i = 0; i < flat.size(); ++i)
+        flat[i] = (i % 3 == 0) ? 0.25f : -0.125f; // 2 distinct values
+    GoboConfig cfg;
+    cfg.bits = 3;
+    auto q = quantizeTensor(w, cfg);
+    EXPECT_LT(q.centroids.size(), std::size_t{1} << 3);
+
+    std::stringstream ss;
+    q.save(ss);
+    QuantizedTensor loaded = QuantizedTensor::load(ss);
+
+    // The deduped table must reconstruct the layer exactly: with only
+    // two distinct values the centroids land on them.
+    Tensor decoded = loaded.dequantize();
+    for (std::size_t i = 0; i < flat.size(); ++i)
+        EXPECT_EQ(decoded.flat()[i], flat[i]);
+
+    Tensor bias(12);
+    Rng rng(219);
+    rng.fillGaussian(bias.data(), 0.0, 0.1);
+    QuantizedLinear unpacked(loaded, bias, WeightFormat::Unpacked);
+    QuantizedLinear packed(loaded, bias, WeightFormat::Packed);
+    Tensor x(3, 10);
+    rng.fillGaussian(x.data(), 0.0, 1.0);
+    Tensor want = linear(x, decoded, bias);
+    Tensor got_u = unpacked.forward(x);
+    Tensor got_p = packed.forward(x);
+    EXPECT_LT(relativeError(want, got_u), 1e-6);
+    for (std::size_t i = 0; i < got_u.flat().size(); ++i)
+        EXPECT_EQ(got_u.flat()[i], got_p.flat()[i]) << "flat " << i;
 }
 
 TEST(Integration, DecodedModelIsPlugInCompatible)

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 
 #include "tensor/ops.hh"
@@ -58,6 +59,26 @@ TEST(Matmul, ShapeMismatchIsFatal)
     Tensor a(2, 3);
     Tensor b(4, 2);
     EXPECT_THROW(matmul(a, b), FatalError);
+}
+
+TEST(Matmul, PropagatesNanAndInfThroughZeroEntries)
+{
+    // Regression: a zero-skip in the inner loop dropped 0 * NaN and
+    // 0 * Inf terms, silently diverging from IEEE semantics (and from
+    // any reference dense matmul). A zero row against a NaN/Inf column
+    // must yield NaN, never a clean 0.
+    constexpr float inf = std::numeric_limits<float>::infinity();
+    constexpr float nan = std::numeric_limits<float>::quiet_NaN();
+    Tensor a(2, 2, {0.0f, 0.0f, 1.0f, 0.0f});
+    Tensor b(2, 2, {nan, 1.0f, inf, 2.0f});
+    Tensor c = matmul(a, b);
+    EXPECT_TRUE(std::isnan(c(0, 0))); // 0*NaN + 0*Inf
+    EXPECT_FLOAT_EQ(c(0, 1), 0.0f);   // 0*1 + 0*2, finite stays exact
+    EXPECT_TRUE(std::isnan(c(1, 0))); // 1*NaN + 0*Inf
+    EXPECT_FLOAT_EQ(c(1, 1), 1.0f);   // 1*1 + 0*2
+    // Parallel context takes the same path.
+    Tensor cp = matmul(ExecContext::parallel(4), a, b);
+    EXPECT_TRUE(std::isnan(cp(0, 0)));
 }
 
 TEST(Linear, MatchesTransposedMatmulPlusBias)

@@ -11,7 +11,8 @@
  *   gobo inspect   model.gobm | model.gobc
  *   gobo infer     model.gobm | model.gobc [--batch B] [--seq-len S]
  *                  [--threads N] [--backend serial|parallel]
- *                  [--engine fp32|qexec] [--seed N]
+ *                  [--engine fp32|qexec] [--format unpacked|packed]
+ *                  [--seed N]
  *
  * `generate` writes a synthetic FP32 checkpoint (see model/generate);
  * `compress` produces the GOBC container and prints the per-layer
@@ -65,7 +66,7 @@ usage(const char *msg = nullptr)
         "  gobo infer     FILE [--batch B] [--seq-len S] [--threads N]\n"
         "                 [--backend serial|parallel]"
         " [--engine fp32|qexec]\n"
-        "                 [--seed N]\n"
+        "                 [--format unpacked|packed] [--seed N]\n"
         "\nfamilies: bert-base bert-large distilbert roberta"
         " roberta-large\n",
         stderr);
@@ -281,6 +282,12 @@ cmdInfer(const Args &args)
     else
         usage(("unknown backend: " + backend).c_str());
 
+    std::string format = args.get("format", "unpacked");
+    if (format == "packed")
+        ctx.weightFormat = WeightFormat::Packed;
+    else if (format != "unpacked")
+        usage(("unknown format: " + format).c_str());
+
     auto batch_size = std::stoul(args.get("batch", "8"));
     auto seq_len = std::stoul(args.get("seq-len", "32"));
     auto seed = std::strtoull(args.get("seed", "42").c_str(), nullptr,
@@ -316,6 +323,7 @@ cmdInfer(const Args &args)
     if (engine == "qexec") {
         ModelQuantOptions qopt;
         qopt.threads = ctx.isParallel() ? ctx.threads : 1;
+        qopt.format = ctx.weightFormat;
         session.emplace(QuantizedBertModel(model, qopt), ctx);
     } else if (engine == "fp32") {
         session.emplace(std::move(model), ctx);
@@ -323,10 +331,14 @@ cmdInfer(const Args &args)
         usage(("unknown engine: " + engine).c_str());
     }
 
-    std::printf("%s engine, %s backend (%zu threads), batch %zu x %zu"
-                " tokens\n",
-                engine.c_str(), backendName(ctx.backend), ctx.threads,
-                batch_size, seq_len);
+    std::printf("%s engine (%s weights, %.1f KiB resident), %s backend"
+                " (%zu threads), batch %zu x %zu tokens\n",
+                engine.c_str(),
+                engine == "qexec" ? weightFormatName(ctx.weightFormat)
+                                  : "fp32",
+                toKiB(session->residentWeightBytes()),
+                backendName(ctx.backend), ctx.threads, batch_size,
+                seq_len);
     WallTimer timer;
     auto logits = session->headLogitsBatch(batch);
     double secs = timer.seconds();

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Full check sweep: build and run the whole test suite in a plain
+# Release tree and again under AddressSanitizer, then run the focused
+# ThreadSanitizer concurrency pass (tools/run_tsan.sh). Keeps the
+# packed-execution kernel and the serializer hardening sanitizer-clean.
+#
+# Usage: tools/run_checks.sh [build-dir-prefix]
+#
+# Build trees land in <prefix>-release, <prefix>-asan and the TSan
+# script's default (or $GOBO_TSAN_DIR). Set GOBO_SKIP_TSAN=1 to run
+# only the Release + ASan legs.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+prefix=${1:-"$repo/build-checks"}
+
+run_leg() {
+    build=$1
+    shift
+    cmake -B "$build" -S "$repo" "$@"
+    cmake --build "$build" -j
+    ctest --test-dir "$build" --output-on-failure -j
+}
+
+echo "== Release =="
+run_leg "$prefix-release" -DCMAKE_BUILD_TYPE=Release
+
+echo "== AddressSanitizer =="
+# VAR=x func is unportable across shells, so export for the leg instead.
+ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}
+export ASAN_OPTIONS
+run_leg "$prefix-asan" -DGOBO_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+if [ "${GOBO_SKIP_TSAN:-0}" != 1 ]; then
+    echo "== ThreadSanitizer (concurrency suites) =="
+    "$repo/tools/run_tsan.sh" ${GOBO_TSAN_DIR:+"$GOBO_TSAN_DIR"}
+fi
+
+echo "All checks clean."
