@@ -6,15 +6,20 @@
  * and both engines and reports tokens/sec — the end-to-end latency
  * story the execution refactor exists for. The parallel backend must
  * be bit-identical to serial (asserted here on the logits), so the
- * speedup column is a pure scheduling win. Results are appended to
- * BENCH_forward.json for the driver.
+ * speedup column is a pure scheduling win. Results are written to
+ * BENCH_forward.json (or --out PATH) for the driver; the JSON schema
+ * is documented in EXPERIMENTS.md. A final traced pass through the
+ * packed engine breaks the forward pass down by span (embed, per
+ * layer, attention/ffn/layernorm, per QuantizedLinear).
  *
  * Flags: --seed N, --fast (fewer repetitions), plus
  *   --threads N   parallel-backend width (default GOBO_THREADS/cores)
  *   --seq-len S   tokens per sequence (default 32)
  *   --batch B     sequences per batch (default 16)
+ *   --out PATH    JSON output path (default BENCH_forward.json)
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -24,6 +29,8 @@
 #include "core/qexec.hh"
 #include "exec/session.hh"
 #include "model/generate.hh"
+#include "obs/export.hh"
+#include "obs/observer.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 #include "util/timer.hh"
@@ -64,6 +71,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 42;
     std::size_t threads = defaultThreads();
     std::size_t seq_len = 32, batch_size = 16, reps = 8;
+    std::string out = "BENCH_forward.json";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--seed" && i + 1 < argc) {
@@ -76,10 +84,12 @@ main(int argc, char **argv)
             seq_len = std::strtoul(argv[++i], nullptr, 10);
         } else if (arg == "--batch" && i + 1 < argc) {
             batch_size = std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--seed N] [--fast] [--threads N]"
-                         " [--seq-len S] [--batch B]\n",
+                         " [--seq-len S] [--batch B] [--out PATH]\n",
                          argv[0]);
             return 2;
         }
@@ -193,7 +203,29 @@ main(int argc, char **argv)
                 " threads\n",
                 speedup, threads);
 
-    std::FILE *json = std::fopen("BENCH_forward.json", "w");
+    // One traced batch through the packed parallel engine (qopt still
+    // holds format=Packed from the block above). The span summary is
+    // the per-layer time breakdown; timing above ran unobserved, so
+    // the throughput numbers carry zero instrumentation cost.
+    Observer obs;
+    ExecContext traced_ctx = parallel;
+    traced_ctx.obs = &obs;
+    InferenceSession traced(QuantizedBertModel(model, qopt),
+                            traced_ctx);
+    traced.headLogitsBatch(batch);
+    auto spans = summarizeSpans(obs.tracer);
+
+    std::printf("\nPer-span time, one traced packed-parallel batch"
+                " (top %zu of %zu spans):\n",
+                std::min<std::size_t>(spans.size(), 12), spans.size());
+    ConsoleTable st({"Span", "Count", "Total ms", "Mean us"});
+    for (std::size_t i = 0; i < spans.size() && i < 12; ++i)
+        st.addRow({spans[i].name, std::to_string(spans[i].count),
+                   ConsoleTable::num(spans[i].totalUs / 1e3, 2),
+                   ConsoleTable::num(spans[i].meanUs, 1)});
+    st.print(std::cout);
+
+    std::FILE *json = std::fopen(out.c_str(), "w");
     if (json) {
         std::fprintf(json,
                      "{\n  \"bench\": \"micro_forward\",\n"
@@ -210,6 +242,14 @@ main(int argc, char **argv)
                          results[i].tokensPerSec,
                          results[i].residentBytes,
                          i + 1 < results.size() ? "," : "");
+        std::fprintf(json, "  ],\n  \"spans\": [\n");
+        for (std::size_t i = 0; i < spans.size(); ++i)
+            std::fprintf(json,
+                         "    {\"name\": \"%s\", \"count\": %zu,"
+                         " \"total_us\": %.1f, \"mean_us\": %.2f}%s\n",
+                         spans[i].name.c_str(), spans[i].count,
+                         spans[i].totalUs, spans[i].meanUs,
+                         i + 1 < spans.size() ? "," : "");
         std::fprintf(json,
                      "  ],\n  \"fp32_parallel_speedup\": %.3f,\n"
                      "  \"qexec_parallel_tokens_per_sec\": %.1f,\n"
@@ -218,7 +258,7 @@ main(int argc, char **argv)
                      static_cast<double>(packed_resident)
                          / static_cast<double>(fp32_resident));
         std::fclose(json);
-        std::puts("wrote BENCH_forward.json");
+        std::printf("wrote %s\n", out.c_str());
     }
     return 0;
 }

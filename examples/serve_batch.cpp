@@ -6,6 +6,10 @@
 // bit-identical to serial — the program checks the logits match
 // exactly — so the throughput difference is pure scheduling.
 //
+// Per-batch wall times feed the obs latency histogram, so each engine
+// reports tail latency (p50/p95/p99) next to its throughput — the
+// serving-oriented view the paper's latency claims are about.
+//
 // Run: ./serve_batch [threads]
 
 #include <cstdio>
@@ -14,6 +18,7 @@
 #include "core/qexec.hh"
 #include "exec/session.hh"
 #include "model/generate.hh"
+#include "obs/metrics.hh"
 #include "util/rng.hh"
 #include "util/timer.hh"
 
@@ -21,16 +26,46 @@ using namespace gobo;
 
 namespace {
 
-double
-tokensPerSec(const InferenceSession &session, const TokenBatch &batch,
-             std::size_t reps)
+/** Throughput plus the latency distribution behind it. */
+struct ServeStats
 {
-    session.headLogitsBatch(batch); // warm-up
-    WallTimer timer;
-    for (std::size_t r = 0; r < reps; ++r)
+    double tokensPerSec = 0.0;
+    HistogramSnapshot latency;
+};
+
+ServeStats
+serve(const InferenceSession &session, const TokenBatch &batch,
+      std::size_t reps)
+{
+    session.headLogitsBatch(batch); // warm-up, excluded from stats
+
+    MetricsRegistry reg;
+    HistogramId h = reg.histogram("batch_latency_us",
+                                  latencyBoundsUs());
+    WallTimer total;
+    for (std::size_t r = 0; r < reps; ++r) {
+        WallTimer t;
         session.headLogitsBatch(batch);
-    return static_cast<double>(reps * batch.size() * batch[0].size())
-           / timer.seconds();
+        reg.observe(h, t.seconds() * 1e6);
+    }
+    ServeStats s;
+    s.tokensPerSec =
+        static_cast<double>(reps * batch.size() * batch[0].size())
+        / total.seconds();
+    auto snap = reg.snapshot();
+    s.latency = *snap.findHistogram("batch_latency_us");
+    return s;
+}
+
+void
+printStats(const char *label, const ServeStats &s)
+{
+    std::printf("%s %8.0f tokens/sec   batch p50 %6.1f ms"
+                "  p95 %6.1f ms  p99 %6.1f ms\n",
+                label, s.tokensPerSec,
+                s.latency.quantile(0.50) / 1e3,
+                s.latency.quantile(0.95) / 1e3,
+                s.latency.quantile(0.99) / 1e3);
 }
 
 } // namespace
@@ -74,12 +109,13 @@ main(int argc, char **argv)
     std::printf("serial == parallel logits: %s\n",
                 identical ? "bit-identical" : "MISMATCH");
 
-    double st = tokensPerSec(serial, batch, 4);
-    double pt = tokensPerSec(parallel, batch, 4);
-    std::printf("fp32  serial:   %8.0f tokens/sec\n", st);
-    std::printf("fp32  parallel: %8.0f tokens/sec (%zu threads,"
-                " %.2fx)\n",
-                pt, threads, pt / st);
+    constexpr std::size_t reps = 8;
+    ServeStats st = serve(serial, batch, reps);
+    ServeStats pt = serve(parallel, batch, reps);
+    printStats("fp32  serial:  ", st);
+    printStats("fp32  parallel:", pt);
+    std::printf("                (%zu threads, %.2fx serial)\n",
+                threads, pt.tokensPerSec / st.tokensPerSec);
 
     // The compressed-domain engine serves from the GOBO format
     // directly — same session API, no decode step. Unpacked widens
@@ -105,13 +141,13 @@ main(int argc, char **argv)
     std::printf("packed == unpacked logits:  %s\n",
                 identical ? "bit-identical" : "MISMATCH");
 
-    double ut = tokensPerSec(unpacked, batch, 4);
-    double qt = tokensPerSec(packed, batch, 4);
-    std::printf("qexec unpacked: %8.0f tokens/sec (3-bit weights,"
-                " resident %zu KiB)\n",
-                ut, unpacked.residentWeightBytes() / 1024);
-    std::printf("qexec packed:   %8.0f tokens/sec (3-bit weights,"
-                " resident %zu KiB)\n",
-                qt, packed.residentWeightBytes() / 1024);
+    ServeStats ut = serve(unpacked, batch, reps);
+    ServeStats qt = serve(packed, batch, reps);
+    printStats("qexec unpacked:", ut);
+    printStats("qexec packed:  ", qt);
+    std::printf("                (3-bit weights, resident %zu /"
+                " %zu KiB)\n",
+                unpacked.residentWeightBytes() / 1024,
+                packed.residentWeightBytes() / 1024);
     return 0;
 }

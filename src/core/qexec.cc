@@ -5,6 +5,7 @@
 
 #include "model/footprint.hh"
 #include "nn/encoder.hh"
+#include "obs/observer.hh"
 #include "tensor/ops.hh"
 #include "util/bitstream.hh"
 #include "util/logging.hh"
@@ -12,8 +13,9 @@
 namespace gobo {
 
 QuantizedLinear::QuantizedLinear(QuantizedTensor w, Tensor b,
-                                 WeightFormat format)
-    : weights(std::move(w)), bias(std::move(b)), fmt(format)
+                                 WeightFormat format, std::string name)
+    : weights(std::move(w)), bias(std::move(b)), fmt(format),
+      label(std::move(name))
 {
     weights.check();
     fatalIf(bias.size() != weights.rows, "QuantizedLinear bias size ",
@@ -130,6 +132,26 @@ QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
     std::size_t k = weights.centroids.size();
     Tensor y(seq, out);
 
+    // Observability: one span per forward plus flat counters, all
+    // recorded outside the kernel loops (the totals are closed-form).
+    ScopedSpan span(ctx.obs, label);
+    if (Observer *obs = ctx.obs) {
+        obs->metrics.add(obs->qexecForwards);
+        obs->metrics.add(obs->qexecBytesStreamed, residentBytes());
+        obs->metrics.add(obs->qexecOutlierCorrections,
+                         seq * outliers.size());
+        if (fmt == WeightFormat::Unpacked)
+            obs->metrics.add(obs->qexecDecodeUnpacked);
+        else if (!decodeLut.empty())
+            obs->metrics.add(obs->qexecDecodeLut);
+        else if (weights.bits == 3)
+            obs->metrics.add(obs->qexecDecodeGroup24);
+        else
+            obs->metrics.add(obs->qexecDecodeScalar);
+        if (fmt == WeightFormat::Packed)
+            obs->metrics.add(obs->qexecRowsDecoded, out);
+    }
+
     // Parallel over output-row blocks: each block reuses one bucket
     // vector (the accelerator's per-lane accumulators) and counts its
     // own operations. y(s, o) is touched by exactly one block and its
@@ -240,7 +262,12 @@ makeLayer(const Tensor &w, const Tensor &b, FcKind kind,
 {
     GoboConfig cfg = options.base;
     cfg.bits = options.effectiveBits(kind, encoder);
-    return {quantizeTensor(w, cfg), b, options.format};
+    std::string label =
+        kind == FcKind::Pooler
+            ? fcKindName(kind)
+            : "enc[" + std::to_string(encoder) + "]." + fcKindName(kind);
+    return {quantizeTensor(w, cfg), b, options.format,
+            std::move(label)};
 }
 
 } // namespace
@@ -290,34 +317,55 @@ QuantizedBertModel::encode(const ExecContext &ctx,
             token_ids.size(), " exceeds maxPosition ", cfg.maxPosition);
 
     Tensor x(token_ids.size(), cfg.hidden);
-    for (std::size_t s = 0; s < token_ids.size(); ++s) {
-        auto id = token_ids[s];
-        fatalIf(id < 0 || static_cast<std::size_t>(id) >= cfg.vocabSize,
-                "token id ", id, " out of vocab ", cfg.vocabSize);
-        auto word = wordEmbedding.row(static_cast<std::size_t>(id));
-        auto posv = positionEmbedding.row(s);
-        auto dst = x.row(s);
-        for (std::size_t c = 0; c < dst.size(); ++c)
-            dst[c] = word[c] + posv[c];
+    {
+        ScopedSpan span(ctx.obs, "embed");
+        for (std::size_t s = 0; s < token_ids.size(); ++s) {
+            auto id = token_ids[s];
+            fatalIf(id < 0
+                        || static_cast<std::size_t>(id) >= cfg.vocabSize,
+                    "token id ", id, " out of vocab ", cfg.vocabSize);
+            auto word = wordEmbedding.row(static_cast<std::size_t>(id));
+            auto posv = positionEmbedding.row(s);
+            auto dst = x.row(s);
+            for (std::size_t c = 0; c < dst.size(); ++c)
+                dst[c] = word[c] + posv[c];
+        }
+        layerNormInplace(ctx, x, embLnGamma.flat(), embLnBeta.flat());
     }
-    layerNormInplace(ctx, x, embLnGamma.flat(), embLnBeta.flat());
 
-    for (const auto &enc : encoders) {
-        Tensor q = enc.query.forward(ctx, x);
-        Tensor k = enc.key.forward(ctx, x);
-        Tensor v = enc.value.forward(ctx, x);
-        Tensor attn_ctx = multiHeadAttention(ctx, q, k, v, cfg.numHeads);
-        Tensor attn_out = enc.attnOut.forward(ctx, attn_ctx);
-        Tensor a = add(x, attn_out);
-        layerNormInplace(ctx, a, enc.attnLnGamma.flat(),
-                         enc.attnLnBeta.flat());
+    for (std::size_t e = 0; e < encoders.size(); ++e) {
+        const auto &enc = encoders[e];
+        ScopedSpan layer_span(ctx.obs, "layer", e);
+        Tensor a;
+        {
+            ScopedSpan span(ctx.obs, "attention");
+            Tensor q = enc.query.forward(ctx, x);
+            Tensor k = enc.key.forward(ctx, x);
+            Tensor v = enc.value.forward(ctx, x);
+            Tensor attn_ctx =
+                multiHeadAttention(ctx, q, k, v, cfg.numHeads);
+            Tensor attn_out = enc.attnOut.forward(ctx, attn_ctx);
+            a = add(x, attn_out);
+        }
+        {
+            ScopedSpan span(ctx.obs, "layernorm");
+            layerNormInplace(ctx, a, enc.attnLnGamma.flat(),
+                             enc.attnLnBeta.flat());
+        }
 
-        Tensor inter = enc.inter.forward(ctx, a);
-        geluInplace(inter);
-        Tensor out = enc.out.forward(ctx, inter);
-        Tensor y = add(a, out);
-        layerNormInplace(ctx, y, enc.outLnGamma.flat(),
-                         enc.outLnBeta.flat());
+        Tensor y;
+        {
+            ScopedSpan span(ctx.obs, "ffn");
+            Tensor inter = enc.inter.forward(ctx, a);
+            geluInplace(inter);
+            Tensor out = enc.out.forward(ctx, inter);
+            y = add(a, out);
+        }
+        {
+            ScopedSpan span(ctx.obs, "layernorm");
+            layerNormInplace(ctx, y, enc.outLnGamma.flat(),
+                             enc.outLnBeta.flat());
+        }
         x = std::move(y);
     }
     return x;

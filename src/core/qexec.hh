@@ -22,6 +22,7 @@
 #define GOBO_CORE_QEXEC_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/quantizer.hh"
@@ -63,9 +64,14 @@ struct OpCounts
 class QuantizedLinear
 {
   public:
-    /** Take ownership of the compressed weights and FP32 bias. */
+    /**
+     * Take ownership of the compressed weights and FP32 bias. `label`
+     * names this layer in trace spans and has no effect on compute
+     * ("enc[e].query" etc. when built by QuantizedBertModel).
+     */
     QuantizedLinear(QuantizedTensor weights, Tensor bias,
-                    WeightFormat format = WeightFormat::Unpacked);
+                    WeightFormat format = WeightFormat::Unpacked,
+                    std::string label = "qlinear");
 
     /**
      * Forward pass via per-centroid accumulation. x is [seq, in].
@@ -74,6 +80,13 @@ class QuantizedLinear
      * backends are bit-identical. When `counts` is non-null the
      * operations actually performed are accumulated into it (each
      * block counts locally, blocks are summed in index order).
+     *
+     * With an observer on the context, each call records one span
+     * (named by `label`) plus qexec.* counters: rows decoded, weight
+     * bytes streamed, outlier corrections applied, and which decode
+     * path ran (decode.lut / decode.group24 / decode.scalar /
+     * decode.unpacked). Instrumentation happens outside the kernel
+     * loops and never touches float math.
      */
     Tensor forward(const ExecContext &ctx, const Tensor &x,
                    OpCounts *counts = nullptr) const;
@@ -97,6 +110,9 @@ class QuantizedLinear
     /** How the index stream is held at runtime. */
     WeightFormat format() const { return fmt; }
 
+    /** Trace-span name for this layer. */
+    const std::string &spanLabel() const { return label; }
+
     /**
      * Bytes of weight state the forward pass actually streams: the
      * index store in its runtime format plus the centroid table and
@@ -112,6 +128,7 @@ class QuantizedLinear
     QuantizedTensor weights;
     Tensor bias;
     WeightFormat fmt;
+    std::string label;
     /** Unpacked per-weight centroid indexes, row-major (Unpacked only). */
     std::vector<std::uint8_t> indexes;
     /**

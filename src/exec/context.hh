@@ -22,6 +22,8 @@
 
 namespace gobo {
 
+class Observer; // obs/observer.hh; contexts only carry the pointer.
+
 /** How compute loops execute. */
 enum class Backend
 {
@@ -80,6 +82,13 @@ struct ExecContext
      * engine that already exists.
      */
     WeightFormat weightFormat = WeightFormat::Unpacked;
+    /**
+     * Observability sink for spans and counters (obs/observer.hh);
+     * null (the default) disables instrumentation at the cost of one
+     * branch per site. Instrumentation never feeds back into compute
+     * or scheduling, so attaching an observer cannot change results.
+     */
+    Observer *obs = nullptr;
 
     /** The serial context (the default). */
     static ExecContext

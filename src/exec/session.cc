@@ -1,9 +1,75 @@
 #include "exec/session.hh"
 
 #include "nn/encoder.hh"
+#include "obs/observer.hh"
 #include "util/logging.hh"
 
 namespace gobo {
+
+namespace {
+
+/**
+ * RAII sequence accounting: tokens + sequence count on entry, latency
+ * histogram on exit. A null observer costs one branch at each end.
+ */
+class SequenceProbe
+{
+  public:
+    SequenceProbe(Observer *obs, std::size_t tokens) : obs(obs)
+    {
+        if (obs) {
+            obs->metrics.add(obs->sessionSequences);
+            obs->metrics.add(obs->sessionTokens, tokens);
+            beginUs = obs->tracer.nowUs();
+        }
+    }
+
+    SequenceProbe(const SequenceProbe &) = delete;
+    SequenceProbe &operator=(const SequenceProbe &) = delete;
+
+    ~SequenceProbe()
+    {
+        if (obs)
+            obs->metrics.observe(obs->sequenceLatencyUs,
+                                 obs->tracer.nowUs() - beginUs);
+    }
+
+  private:
+    Observer *obs;
+    double beginUs = 0.0;
+};
+
+/** Batch-level counterpart: batch counter + batch-latency histogram
+ * wrapped around a span covering the whole batched call. */
+class BatchProbe
+{
+  public:
+    BatchProbe(Observer *obs, const char *name)
+        : obs(obs), span(obs, name)
+    {
+        if (obs) {
+            obs->metrics.add(obs->sessionBatches);
+            beginUs = obs->tracer.nowUs();
+        }
+    }
+
+    BatchProbe(const BatchProbe &) = delete;
+    BatchProbe &operator=(const BatchProbe &) = delete;
+
+    ~BatchProbe()
+    {
+        if (obs)
+            obs->metrics.observe(obs->batchLatencyUs,
+                                 obs->tracer.nowUs() - beginUs);
+    }
+
+  private:
+    Observer *obs;
+    ScopedSpan span;
+    double beginUs = 0.0;
+};
+
+} // namespace
 
 InferenceSession::InferenceSession(BertModel model, ExecContext c)
     : ctx(c), fp32(std::move(model))
@@ -47,6 +113,8 @@ Tensor
 InferenceSession::encodeSequence(
     std::span<const std::int32_t> tokens) const
 {
+    SequenceProbe probe(ctx.obs, tokens.size());
+    ScopedSpan span(ctx.obs, "session.encode");
     return fp32 ? gobo::encodeSequence(ctx, *fp32, tokens)
                 : quantized->encode(ctx, tokens);
 }
@@ -54,6 +122,8 @@ InferenceSession::encodeSequence(
 Tensor
 InferenceSession::headLogits(std::span<const std::int32_t> tokens) const
 {
+    SequenceProbe probe(ctx.obs, tokens.size());
+    ScopedSpan span(ctx.obs, "session.headLogits");
     if (quantized)
         return quantized->classify(ctx, tokens);
     Tensor hidden = gobo::encodeSequence(ctx, *fp32, tokens);
@@ -76,18 +146,26 @@ InferenceSession::innerContext(std::size_t batch_size) const
     // sequence forwards run serially inside their slot; a nested
     // parallel dispatch would only add scheduling overhead (the pool
     // runs reentrant submissions inline anyway). Either composition
-    // is bit-identical, so this is purely a scheduling choice.
-    if (ctx.isParallel() && batch_size >= ctx.threads)
-        return ExecContext::serial();
+    // is bit-identical, so this is purely a scheduling choice. The
+    // observer rides along: instrumentation follows the work wherever
+    // it is scheduled.
+    if (ctx.isParallel() && batch_size >= ctx.threads) {
+        ExecContext inner = ExecContext::serial();
+        inner.obs = ctx.obs;
+        return inner;
+    }
     return ctx;
 }
 
 std::vector<Tensor>
 InferenceSession::encodeBatch(const TokenBatch &batch) const
 {
+    BatchProbe probe(ctx.obs, "session.encodeBatch");
     std::vector<Tensor> out(batch.size());
     ExecContext inner = innerContext(batch.size());
     ctx.parallelFor(batch.size(), [&](std::size_t i) {
+        SequenceProbe seq_probe(inner.obs, batch[i].size());
+        ScopedSpan span(inner.obs, "sequence", i);
         out[i] = fp32 ? gobo::encodeSequence(inner, *fp32, batch[i])
                       : quantized->encode(inner, batch[i]);
     });
@@ -97,9 +175,12 @@ InferenceSession::encodeBatch(const TokenBatch &batch) const
 std::vector<Tensor>
 InferenceSession::headLogitsBatch(const TokenBatch &batch) const
 {
+    BatchProbe probe(ctx.obs, "session.headLogitsBatch");
     std::vector<Tensor> out(batch.size());
     ExecContext inner = innerContext(batch.size());
     ctx.parallelFor(batch.size(), [&](std::size_t i) {
+        SequenceProbe seq_probe(inner.obs, batch[i].size());
+        ScopedSpan span(inner.obs, "sequence", i);
         if (quantized) {
             out[i] = quantized->classify(inner, batch[i]);
         } else {

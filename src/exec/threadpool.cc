@@ -32,9 +32,10 @@ ThreadPool::ThreadPool(std::size_t n_workers)
 {
     if (n_workers == 0)
         n_workers = defaultThreads();
+    stats = std::make_unique<ParticipantStats[]>(n_workers + 1);
     workers.reserve(n_workers);
     for (std::size_t t = 0; t < n_workers; ++t)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, t] { workerLoop(t); });
 }
 
 ThreadPool::~ThreadPool()
@@ -52,13 +53,15 @@ ThreadPool::~ThreadPool()
 
 void
 ThreadPool::drain(const std::function<void(std::size_t)> &fn,
-                  std::size_t count)
+                  std::size_t count, std::atomic<std::uint64_t> &items)
 {
     inside_pool = true;
+    std::uint64_t claimed = 0;
     for (;;) {
         std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count)
             break;
+        ++claimed;
         try {
             fn(i);
         } catch (...) {
@@ -69,11 +72,14 @@ ThreadPool::drain(const std::function<void(std::size_t)> &fn,
             next.store(count, std::memory_order_relaxed);
         }
     }
+    // One relaxed add per drain, not per item — telemetry must not
+    // put a shared cacheline in the claim loop.
+    items.fetch_add(claimed, std::memory_order_relaxed);
     inside_pool = false;
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(std::size_t worker)
 {
     std::uint64_t seen = 0;
     for (;;) {
@@ -97,7 +103,8 @@ ThreadPool::workerLoop()
             fn = jobFn;
             count = jobCount;
         }
-        drain(*fn, count);
+        stats[worker].wakes.fetch_add(1, std::memory_order_relaxed);
+        drain(*fn, count, stats[worker].items);
         {
             std::lock_guard lock(mutex);
             --active;
@@ -116,12 +123,14 @@ ThreadPool::run(std::size_t count, std::size_t parallelism,
     // nested call from a thread already draining a job.
     if (parallelism <= 1 || count <= 1 || workers.empty()
         || inside_pool) {
+        statInline.fetch_add(1, std::memory_order_relaxed);
         for (std::size_t i = 0; i < count; ++i)
             fn(i);
         return;
     }
 
     std::lock_guard submit(submitMutex);
+    statJobs.fetch_add(1, std::memory_order_relaxed);
     {
         std::lock_guard lock(mutex);
         jobFn = &fn;
@@ -136,7 +145,7 @@ ThreadPool::run(std::size_t count, std::size_t parallelism,
     }
     wake.notify_all();
 
-    drain(fn, count);
+    drain(fn, count, stats[workers.size()].items);
 
     std::unique_lock lock(mutex);
     // No worker can join after this point: every index is claimed, so
@@ -146,6 +155,26 @@ ThreadPool::run(std::size_t count, std::size_t parallelism,
     jobSlots = 0;
     if (error)
         std::rethrow_exception(error);
+}
+
+PoolTelemetry
+ThreadPool::telemetry() const
+{
+    PoolTelemetry t;
+    t.jobs = statJobs.load(std::memory_order_relaxed);
+    t.inlineRuns = statInline.load(std::memory_order_relaxed);
+    t.workerItems.reserve(workers.size());
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+        std::uint64_t items =
+            stats[w].items.load(std::memory_order_relaxed);
+        t.workerItems.push_back(items);
+        t.itemsDrained += items;
+        t.wakes += stats[w].wakes.load(std::memory_order_relaxed);
+    }
+    // The submitter slot contributes drained items but no wakes.
+    t.itemsDrained +=
+        stats[workers.size()].items.load(std::memory_order_relaxed);
+    return t;
 }
 
 ThreadPool &

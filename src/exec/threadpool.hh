@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -37,6 +38,25 @@ namespace gobo {
  * (CI and benchmarking override), otherwise the hardware concurrency.
  */
 std::size_t defaultThreads();
+
+/**
+ * Point-in-time pool activity counters (see ThreadPool::telemetry()).
+ * Values are relaxed-atomic reads: each is individually exact, but a
+ * snapshot taken while jobs run may be torn across fields.
+ */
+struct PoolTelemetry
+{
+    /** run() calls dispatched to the workers. */
+    std::uint64_t jobs = 0;
+    /** run() calls executed inline (serial, tiny, or nested). */
+    std::uint64_t inlineRuns = 0;
+    /** Times a worker woke up and joined a job. */
+    std::uint64_t wakes = 0;
+    /** Indexes claimed across all participants (incl. submitters). */
+    std::uint64_t itemsDrained = 0;
+    /** Indexes claimed per persistent worker (submitters excluded). */
+    std::vector<std::uint64_t> workerItems;
+};
 
 /** A persistent pool of worker threads draining index ranges. */
 class ThreadPool
@@ -83,12 +103,32 @@ class ThreadPool
      */
     static ThreadPool &shared();
 
+    /**
+     * Activity counters since construction. Pull-based so the pool
+     * itself stays free of observability dependencies: instrumentation
+     * is per-participant relaxed atomics folded once per drain, never
+     * a per-item shared update.
+     */
+    PoolTelemetry telemetry() const;
+
   private:
-    void workerLoop();
+    /** Per-participant counters, padded against false sharing. */
+    struct alignas(64) ParticipantStats
+    {
+        std::atomic<std::uint64_t> items{0};
+        std::atomic<std::uint64_t> wakes{0};
+    };
+
+    void workerLoop(std::size_t worker);
     void drain(const std::function<void(std::size_t)> &fn,
-               std::size_t count);
+               std::size_t count, std::atomic<std::uint64_t> &items);
 
     std::vector<std::jthread> workers;
+
+    /** workers.size() + 1 entries; the last is the submitter slot. */
+    std::unique_ptr<ParticipantStats[]> stats;
+    std::atomic<std::uint64_t> statJobs{0};
+    std::atomic<std::uint64_t> statInline{0};
 
     std::mutex mutex;
     std::condition_variable wake;   ///< workers wait here for a job.

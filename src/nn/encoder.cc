@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/observer.hh"
 #include "tensor/ops.hh"
 #include "util/logging.hh"
 
@@ -85,25 +86,39 @@ Tensor
 encoderForward(const ExecContext &ectx, const EncoderWeights &enc,
                const Tensor &hidden, std::size_t num_heads)
 {
-    // Attention component.
-    Tensor q = linear(ectx, hidden, enc.queryW, enc.queryB);
-    Tensor k = linear(ectx, hidden, enc.keyW, enc.keyB);
-    Tensor v = linear(ectx, hidden, enc.valueW, enc.valueB);
-    Tensor ctx = multiHeadAttention(ectx, q, k, v, num_heads);
-    Tensor attn_out = linear(ectx, ctx, enc.attnOutW, enc.attnOutB);
-    Tensor x = add(hidden, attn_out);
-    layerNormInplace(ectx, x, enc.attnLnGamma.flat(),
-                     enc.attnLnBeta.flat());
+    // Spans bracket whole components; they never reorder or touch the
+    // arithmetic, so traced and untraced runs are bit-identical.
+    Tensor x;
+    {
+        ScopedSpan span(ectx.obs, "attention");
+        Tensor q = linear(ectx, hidden, enc.queryW, enc.queryB);
+        Tensor k = linear(ectx, hidden, enc.keyW, enc.keyB);
+        Tensor v = linear(ectx, hidden, enc.valueW, enc.valueB);
+        Tensor ctx = multiHeadAttention(ectx, q, k, v, num_heads);
+        Tensor attn_out = linear(ectx, ctx, enc.attnOutW, enc.attnOutB);
+        x = add(hidden, attn_out);
+    }
+    {
+        ScopedSpan span(ectx.obs, "layernorm");
+        layerNormInplace(ectx, x, enc.attnLnGamma.flat(),
+                         enc.attnLnBeta.flat());
+    }
 
-    // Intermediate component.
-    Tensor inter = linear(ectx, x, enc.interW, enc.interB);
-    geluInplace(inter);
-
-    // Output component.
-    Tensor out = linear(ectx, inter, enc.outW, enc.outB);
-    Tensor y = add(x, out);
-    layerNormInplace(ectx, y, enc.outLnGamma.flat(),
-                     enc.outLnBeta.flat());
+    Tensor y;
+    {
+        ScopedSpan span(ectx.obs, "ffn");
+        // Intermediate component.
+        Tensor inter = linear(ectx, x, enc.interW, enc.interB);
+        geluInplace(inter);
+        // Output component.
+        Tensor out = linear(ectx, inter, enc.outW, enc.outB);
+        y = add(x, out);
+    }
+    {
+        ScopedSpan span(ectx.obs, "layernorm");
+        layerNormInplace(ectx, y, enc.outLnGamma.flat(),
+                         enc.outLnBeta.flat());
+    }
     return y;
 }
 
@@ -118,9 +133,16 @@ Tensor
 encodeSequence(const ExecContext &ctx, const BertModel &model,
                std::span<const std::int32_t> token_ids)
 {
-    Tensor x = embedTokens(model, token_ids);
-    for (const auto &enc : model.encoders)
-        x = encoderForward(ctx, enc, x, model.config().numHeads);
+    Tensor x;
+    {
+        ScopedSpan span(ctx.obs, "embed");
+        x = embedTokens(model, token_ids);
+    }
+    for (std::size_t e = 0; e < model.encoders.size(); ++e) {
+        ScopedSpan span(ctx.obs, "layer", e);
+        x = encoderForward(ctx, model.encoders[e], x,
+                           model.config().numHeads);
+    }
     return x;
 }
 

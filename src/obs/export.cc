@@ -1,0 +1,167 @@
+#include "obs/export.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "exec/threadpool.hh"
+#include "util/table.hh"
+
+namespace gobo {
+
+namespace {
+
+/** Escape a string for a JSON literal (names are ASCII in practice). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Fixed-precision double for JSON (avoids locale surprises). */
+std::string
+jsonNum(double v, int precision = 3)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace
+
+void
+writeChromeTrace(const Tracer &tracer, std::ostream &os)
+{
+    auto events = tracer.events();
+    os << "{\"traceEvents\": [\n";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &e = events[i];
+        os << "  {\"name\": \"" << jsonEscape(e.name)
+           << "\", \"cat\": \"gobo\", \"ph\": \"X\", \"ts\": "
+           << jsonNum(e.tsUs) << ", \"dur\": " << jsonNum(e.durUs)
+           << ", \"pid\": 1, \"tid\": " << e.tid << "}"
+           << (i + 1 < events.size() ? "," : "") << "\n";
+    }
+    os << "],\n\"displayTimeUnit\": \"ms\"";
+    if (std::uint64_t dropped = tracer.droppedEvents())
+        os << ",\n\"gobo_dropped_events\": " << dropped;
+    os << "}\n";
+}
+
+void
+printMetrics(const MetricsSnapshot &snap, std::ostream &os)
+{
+    ConsoleTable counters({"Counter", "Value"});
+    for (const auto &c : snap.counters)
+        if (c.value != 0)
+            counters.addRow({c.name, std::to_string(c.value)});
+    if (counters.rowCount() > 0) {
+        counters.print(os);
+        os << "\n";
+    }
+
+    ConsoleTable hists({"Histogram", "Count", "Mean", "p50", "p90",
+                        "p99"});
+    for (const auto &h : snap.histograms) {
+        if (h.count == 0)
+            continue;
+        hists.addRow({h.name, std::to_string(h.count),
+                      ConsoleTable::num(h.mean(), 1),
+                      ConsoleTable::num(h.quantile(0.50), 1),
+                      ConsoleTable::num(h.quantile(0.90), 1),
+                      ConsoleTable::num(h.quantile(0.99), 1)});
+    }
+    if (hists.rowCount() > 0)
+        hists.print(os);
+}
+
+void
+writeMetricsJson(const MetricsSnapshot &snap, std::ostream &os)
+{
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &c : snap.counters) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(c.name)
+           << "\": " << c.value;
+        first = false;
+    }
+    os << "\n  },\n  \"histograms\": [";
+    first = true;
+    for (const auto &h : snap.histograms) {
+        os << (first ? "\n" : ",\n") << "    {\"name\": \""
+           << jsonEscape(h.name) << "\", \"count\": " << h.count
+           << ", \"sum\": " << jsonNum(h.sum)
+           << ", \"mean\": " << jsonNum(h.mean())
+           << ", \"p50\": " << jsonNum(h.quantile(0.50))
+           << ", \"p90\": " << jsonNum(h.quantile(0.90))
+           << ", \"p99\": " << jsonNum(h.quantile(0.99)) << "}";
+        first = false;
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+appendPoolCounters(MetricsSnapshot &snap, const PoolTelemetry &pool)
+{
+    auto put = [&](std::string name, std::uint64_t value) {
+        snap.counters.push_back({std::move(name), value});
+    };
+    put("pool.jobs", pool.jobs);
+    put("pool.inline_runs", pool.inlineRuns);
+    put("pool.worker_wakes", pool.wakes);
+    put("pool.items_drained", pool.itemsDrained);
+    for (std::size_t w = 0; w < pool.workerItems.size(); ++w)
+        put("pool.worker[" + std::to_string(w) + "].items",
+            pool.workerItems[w]);
+}
+
+std::vector<SpanSummary>
+summarizeSpans(const Tracer &tracer)
+{
+    std::map<std::string, SpanSummary> by_name;
+    for (const auto &e : tracer.events()) {
+        SpanSummary &s = by_name[e.name];
+        s.name = e.name;
+        ++s.count;
+        s.totalUs += e.durUs;
+    }
+    std::vector<SpanSummary> out;
+    out.reserve(by_name.size());
+    for (auto &[name, s] : by_name) {
+        s.meanUs = s.totalUs / static_cast<double>(s.count);
+        out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanSummary &a, const SpanSummary &b) {
+                  return a.totalUs > b.totalUs;
+              });
+    return out;
+}
+
+} // namespace gobo

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Observer — the one handle instrumented code touches.
+ *
+ * Bundles a MetricsRegistry and a Tracer and pre-interns every
+ * hot-path metric the execution stack records, so instrumentation
+ * sites pay an id-indexed shard update instead of a name lookup. The
+ * handle is threaded through ExecContext as a nullable pointer; a null
+ * observer is the default and costs exactly one branch per span or
+ * counter — no clock read, no string construction, no allocation.
+ *
+ * Determinism contract: observers only *read* timestamps and *count*
+ * events around compute; they never participate in float arithmetic or
+ * alter scheduling, so Serial/Parallel and Packed/Unpacked outputs
+ * stay bit-identical with observability on (asserted in
+ * tests/test_obs.cc).
+ */
+
+#ifndef GOBO_OBS_OBSERVER_HH
+#define GOBO_OBS_OBSERVER_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace gobo {
+
+/** Metrics + tracing for one run; see file comment for the contract. */
+class Observer
+{
+  public:
+    Observer()
+        : qexecForwards(metrics.counter("qexec.forwards")),
+          qexecRowsDecoded(metrics.counter("qexec.rows_decoded")),
+          qexecBytesStreamed(metrics.counter("qexec.bytes_streamed")),
+          qexecOutlierCorrections(
+              metrics.counter("qexec.outlier_corrections")),
+          qexecDecodeLut(metrics.counter("qexec.decode.lut")),
+          qexecDecodeGroup24(metrics.counter("qexec.decode.group24")),
+          qexecDecodeScalar(metrics.counter("qexec.decode.scalar")),
+          qexecDecodeUnpacked(metrics.counter("qexec.decode.unpacked")),
+          sessionSequences(metrics.counter("session.sequences")),
+          sessionBatches(metrics.counter("session.batches")),
+          sessionTokens(metrics.counter("session.tokens")),
+          sequenceLatencyUs(metrics.histogram(
+              "session.sequence_latency_us", latencyBoundsUs())),
+          batchLatencyUs(metrics.histogram("session.batch_latency_us",
+                                           latencyBoundsUs()))
+    {
+    }
+
+    MetricsRegistry metrics;
+    Tracer tracer;
+
+    // Pre-interned ids for the instrumented hot paths. Counter names
+    // follow the `subsystem.event[.variant]` scheme DESIGN.md §9
+    // documents; histograms carry a `_us` unit suffix.
+    CounterId qexecForwards;
+    CounterId qexecRowsDecoded;
+    CounterId qexecBytesStreamed;
+    CounterId qexecOutlierCorrections;
+    CounterId qexecDecodeLut;
+    CounterId qexecDecodeGroup24;
+    CounterId qexecDecodeScalar;
+    CounterId qexecDecodeUnpacked;
+    CounterId sessionSequences;
+    CounterId sessionBatches;
+    CounterId sessionTokens;
+    HistogramId sequenceLatencyUs;
+    HistogramId batchLatencyUs;
+
+    /** One branch when `obs` is null — the null-observer contract. */
+    static void
+    count(Observer *obs, CounterId id, std::uint64_t delta = 1)
+    {
+        if (obs)
+            obs->metrics.add(id, delta);
+    }
+};
+
+/**
+ * RAII span: records [construction, destruction) on the calling
+ * thread's trace track. With a null observer the constructor is a
+ * single branch; name formatting and clock reads happen only when an
+ * observer is attached.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(Observer *obs, const char *name) : obs(obs)
+    {
+        if (obs) {
+            spanName = name;
+            beginUs = obs->tracer.nowUs();
+        }
+    }
+
+    /** Span named "prefix[index]" — per-layer / per-sequence spans. */
+    ScopedSpan(Observer *obs, const char *prefix, std::size_t index)
+        : obs(obs)
+    {
+        if (obs) {
+            spanName = prefix;
+            spanName += '[';
+            spanName += std::to_string(index);
+            spanName += ']';
+            beginUs = obs->tracer.nowUs();
+        }
+    }
+
+    ScopedSpan(Observer *obs, std::string name) : obs(obs)
+    {
+        if (obs) {
+            spanName = std::move(name);
+            beginUs = obs->tracer.nowUs();
+        }
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    ~ScopedSpan()
+    {
+        if (obs)
+            obs->tracer.record(std::move(spanName), beginUs,
+                               obs->tracer.nowUs() - beginUs);
+    }
+
+  private:
+    Observer *obs;
+    std::string spanName;
+    double beginUs = 0.0;
+};
+
+} // namespace gobo
+
+#endif // GOBO_OBS_OBSERVER_HH

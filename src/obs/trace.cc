@@ -1,0 +1,111 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <atomic>
+
+namespace gobo {
+
+namespace {
+
+/** Shared with no one: tracer uids come from their own sequence. */
+std::atomic<std::uint64_t> next_tracer_uid{1};
+
+/** Per-thread cache mapping tracer uid -> buffer (see metrics.cc for
+ * the rationale; linear scan over a tiny vector). */
+struct BufferCache
+{
+    struct Entry
+    {
+        std::uint64_t uid;
+        void *buffer;
+    };
+    std::vector<Entry> entries;
+
+    void *
+    find(std::uint64_t uid) const
+    {
+        for (const auto &e : entries)
+            if (e.uid == uid)
+                return e.buffer;
+        return nullptr;
+    }
+};
+
+thread_local BufferCache buffer_cache;
+
+} // namespace
+
+Tracer::Tracer()
+    : uid(next_tracer_uid.fetch_add(1, std::memory_order_relaxed)),
+      epoch(std::chrono::steady_clock::now())
+{
+}
+
+Tracer::~Tracer() = default;
+
+double
+Tracer::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+Tracer::Buffer &
+Tracer::localBuffer()
+{
+    if (void *cached = buffer_cache.find(uid))
+        return *static_cast<Buffer *>(cached);
+    auto buffer = std::make_unique<Buffer>();
+    Buffer *raw = buffer.get();
+    {
+        std::lock_guard lock(mutex);
+        buffer->tid = static_cast<std::uint32_t>(buffers.size());
+        buffers.push_back(std::move(buffer));
+    }
+    buffer_cache.entries.push_back({uid, raw});
+    return *raw;
+}
+
+void
+Tracer::record(std::string name, double ts_us, double dur_us)
+{
+    Buffer &buf = localBuffer();
+    std::lock_guard lock(buf.mutex);
+    if (buf.events.size() >= maxEventsPerThread) {
+        ++buf.dropped;
+        return;
+    }
+    buf.events.push_back(
+        {std::move(name), ts_us, dur_us, buf.tid});
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::vector<TraceEvent> all;
+    std::lock_guard lock(mutex);
+    for (const auto &buf : buffers) {
+        std::lock_guard buf_lock(buf->mutex);
+        all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.tsUs < b.tsUs;
+                     });
+    return all;
+}
+
+std::uint64_t
+Tracer::droppedEvents() const
+{
+    std::uint64_t dropped = 0;
+    std::lock_guard lock(mutex);
+    for (const auto &buf : buffers) {
+        std::lock_guard buf_lock(buf->mutex);
+        dropped += buf->dropped;
+    }
+    return dropped;
+}
+
+} // namespace gobo

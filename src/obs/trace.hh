@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Scoped-span tracer — begin/end events in per-thread buffers,
+ * exportable as Chrome trace-event JSON.
+ *
+ * A span is recorded as one complete ("ph":"X") event: name, start
+ * timestamp and duration in microseconds since the tracer's epoch,
+ * plus a tracer-assigned thread id. Each thread appends to its own
+ * buffer, so recording never serializes concurrent workers beyond one
+ * uncontended per-buffer mutex (needed so an export racing a live
+ * forward pass is well-defined). Buffers are bounded: past
+ * `maxEventsPerThread` new spans are counted as dropped instead of
+ * growing without limit.
+ *
+ * The exported JSON loads directly in Perfetto / chrome://tracing:
+ * nesting is inferred from timestamp containment per thread track, so
+ * a per-layer span drawn around per-linear spans renders as a flame
+ * view of the forward pass.
+ */
+
+#ifndef GOBO_OBS_TRACE_HH
+#define GOBO_OBS_TRACE_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gobo {
+
+/** One completed span on one thread. */
+struct TraceEvent
+{
+    std::string name;
+    double tsUs = 0.0;  ///< start, microseconds since tracer epoch.
+    double durUs = 0.0; ///< duration in microseconds.
+    std::uint32_t tid = 0; ///< tracer-assigned thread track.
+};
+
+/** Collects spans from every thread; epoch starts at construction. */
+class Tracer
+{
+  public:
+    /** Spans a single thread may buffer before drops begin. */
+    static constexpr std::size_t maxEventsPerThread = 1 << 20;
+
+    Tracer();
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Microseconds since the tracer epoch (monotonic clock). */
+    double nowUs() const;
+
+    /** Record one completed span on the calling thread's track. */
+    void record(std::string name, double ts_us, double dur_us);
+
+    /** Every recorded span, merged across threads, sorted by start. */
+    std::vector<TraceEvent> events() const;
+
+    /** Spans discarded because a thread buffer was full. */
+    std::uint64_t droppedEvents() const;
+
+  private:
+    struct Buffer
+    {
+        /** Guards events; uncontended except when an export races the
+         * owning thread. */
+        std::mutex mutex;
+        std::vector<TraceEvent> events;
+        std::uint64_t dropped = 0;
+        std::uint32_t tid = 0;
+    };
+
+    /** The calling thread's buffer, created on first use. */
+    Buffer &localBuffer();
+
+    const std::uint64_t uid;
+    const std::chrono::steady_clock::time_point epoch;
+
+    mutable std::mutex mutex;
+    std::vector<std::unique_ptr<Buffer>> buffers;
+};
+
+} // namespace gobo
+
+#endif // GOBO_OBS_TRACE_HH

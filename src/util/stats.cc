@@ -128,9 +128,14 @@ histogram(std::span<const float> xs, double lo, double hi, std::size_t bins)
     double width = (hi - lo) / static_cast<double>(bins);
     for (float x : xs) {
         double pos = (static_cast<double>(x) - lo) / width;
-        auto i = pos <= 0.0 ? 0
-                            : std::min(bins - 1,
-                                       static_cast<std::size_t>(pos));
+        // Clamp in the double domain: casting a double beyond the
+        // size_t range is undefined behaviour, so far-above-range
+        // values must hit the top bin before the cast.
+        std::size_t i = 0;
+        if (pos >= static_cast<double>(bins - 1))
+            i = bins - 1;
+        else if (pos > 0.0)
+            i = static_cast<std::size_t>(pos);
         ++h.counts[i];
     }
     return h;

@@ -11,6 +11,7 @@
 #define GOBO_UTIL_STATS_HH
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -53,8 +54,10 @@ class RunningStats
     std::size_t n = 0;
     double mu = 0.0;
     double m2 = 0.0;
-    double lo = 1e300;
-    double hi = -1e300;
+    // Identity elements of min/max, so an empty accumulator reports
+    // the documented +/-infinity instead of a finite sentinel.
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
 };
 
 /** Arithmetic mean of a span; 0 for an empty span. */

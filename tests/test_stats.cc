@@ -39,6 +39,22 @@ TEST(RunningStats, EmptyIsZero)
     EXPECT_EQ(rs.variance(), 0.0);
 }
 
+TEST(RunningStats, EmptyMinMaxAreInfinities)
+{
+    // Regression: the header documents +/-infinity on an empty
+    // accumulator; the old 1e300/-1e300 sentinels leaked out instead.
+    RunningStats rs;
+    EXPECT_EQ(rs.min(), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(rs.max(), -std::numeric_limits<double>::infinity());
+    EXPECT_TRUE(std::isinf(rs.min()));
+    EXPECT_TRUE(std::isinf(rs.max()));
+    // The identity elements must not perturb real observations.
+    rs.add(-3.0);
+    rs.add(7.0);
+    EXPECT_EQ(rs.min(), -3.0);
+    EXPECT_EQ(rs.max(), 7.0);
+}
+
 TEST(RunningStats, StableOnLargeOffset)
 {
     // Welford must survive a large common offset where naive
@@ -91,6 +107,39 @@ TEST(HistogramTest, CountsAndClamping)
     EXPECT_NEAR(h.binWidth(), 0.25, 1e-12);
     EXPECT_NEAR(h.binCenter(0), 0.125, 1e-12);
     EXPECT_GE(h.maxCount(), 1u);
+}
+
+TEST(Quantile, SingleElementIsThatElement)
+{
+    std::vector<float> xs{42.0f};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 42.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 42.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 42.0);
+}
+
+TEST(HistogramTest, AllOutOfRangeClampsToEdgeBins)
+{
+    // Every observation lands in a bin even when the whole input sits
+    // outside [lo, hi]; nothing is silently dropped.
+    std::vector<float> xs{-100.0f, -5.0f, 5.0f, 100.0f, 1e30f};
+    auto h = histogram(xs, 0.0, 1.0, 3);
+    EXPECT_EQ(h.counts[0], 2u); // the two below-range values
+    EXPECT_EQ(h.counts[1], 0u);
+    EXPECT_EQ(h.counts[2], 3u); // the three above-range values
+    std::size_t total = 0;
+    for (auto c : h.counts)
+        total += c;
+    EXPECT_EQ(total, xs.size());
+}
+
+TEST(HistogramTest, BoundaryValuesStayInRange)
+{
+    // Exactly-lo lands in the first bin, exactly-hi clamps into the
+    // last (not one past the end).
+    std::vector<float> xs{0.0f, 1.0f};
+    auto h = histogram(xs, 0.0, 1.0, 4);
+    EXPECT_EQ(h.counts[0], 1u);
+    EXPECT_EQ(h.counts[3], 1u);
 }
 
 TEST(HistogramTest, RejectsBadRanges)
@@ -164,6 +213,21 @@ TEST(Spearman, UncorrelatedNearZero)
         b[i] = n(eng);
     }
     EXPECT_NEAR(spearman(a, b), 0.0, 0.05);
+}
+
+TEST(Spearman, AllTiedRanksIsZero)
+{
+    // A constant series ranks every element identically; the rank
+    // variance is zero, so the correlation is defined as 0 (matching
+    // pearson's constant-series convention), not NaN.
+    std::vector<double> tied{5, 5, 5, 5};
+    std::vector<double> varying{1, 2, 3, 4};
+    EXPECT_EQ(spearman(tied, varying), 0.0);
+    EXPECT_EQ(spearman(varying, tied), 0.0);
+    EXPECT_EQ(spearman(tied, tied), 0.0);
+    auto ranks = averageRanks(tied);
+    for (double r : ranks)
+        EXPECT_DOUBLE_EQ(r, 2.5);
 }
 
 /** Property sweep: spearman in [-1, 1] and symmetric for noise mixes. */

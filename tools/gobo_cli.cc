@@ -12,7 +12,7 @@
  *   gobo infer     model.gobm | model.gobc [--batch B] [--seq-len S]
  *                  [--threads N] [--backend serial|parallel]
  *                  [--engine fp32|qexec] [--format unpacked|packed]
- *                  [--seed N]
+ *                  [--seed N] [--trace OUT.json] [--metrics]
  *
  * `generate` writes a synthetic FP32 checkpoint (see model/generate);
  * `compress` produces the GOBC container and prints the per-layer
@@ -20,6 +20,10 @@
  * engine can consume; `inspect` prints what a file contains; `infer`
  * serves a batch of random sequences through an InferenceSession on
  * the chosen execution backend and reports logits and tokens/sec.
+ * With `--trace` the run is recorded as Chrome trace-event JSON
+ * (load it in chrome://tracing or ui.perfetto.dev); `--metrics`
+ * prints the counter/histogram registry plus a span summary and the
+ * thread-pool telemetry after the run.
  */
 
 #include <cstdio>
@@ -35,9 +39,12 @@
 #include "core/qexec.hh"
 #include "core/quantizer.hh"
 #include "exec/session.hh"
+#include "exec/threadpool.hh"
 #include "model/footprint.hh"
 #include "model/generate.hh"
 #include "model/serialize.hh"
+#include "obs/export.hh"
+#include "obs/observer.hh"
 #include "tensor/ops.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -67,17 +74,31 @@ usage(const char *msg = nullptr)
         "                 [--backend serial|parallel]"
         " [--engine fp32|qexec]\n"
         "                 [--format unpacked|packed] [--seed N]\n"
+        "                 [--trace OUT.json] [--metrics]\n"
         "\nfamilies: bert-base bert-large distilbert roberta"
         " roberta-large\n",
         stderr);
     std::exit(2);
 }
 
-/** Flat flag parser: positional args plus --key value pairs. */
+/**
+ * Flat flag parser: positional args plus --key value pairs. Flags
+ * named in `switches` are booleans and consume no value.
+ */
 struct Args
 {
     std::vector<std::string> positional;
     std::map<std::string, std::string> flags;
+
+    static bool
+    isSwitch(const std::string &key)
+    {
+        static const char *const switches[] = {"metrics"};
+        for (const char *s : switches)
+            if (key == s)
+                return true;
+        return false;
+    }
 
     static Args
     parse(int argc, char **argv, int first)
@@ -86,9 +107,14 @@ struct Args
         for (int i = first; i < argc; ++i) {
             std::string arg = argv[i];
             if (arg.rfind("--", 0) == 0) {
+                std::string key = arg.substr(2);
+                if (isSwitch(key)) {
+                    a.flags[key] = "1";
+                    continue;
+                }
                 if (i + 1 >= argc)
                     usage(("missing value for " + arg).c_str());
-                a.flags[arg.substr(2)] = argv[++i];
+                a.flags[key] = argv[++i];
             } else {
                 a.positional.push_back(arg);
             }
@@ -101,6 +127,12 @@ struct Args
     {
         auto it = flags.find(key);
         return it == flags.end() ? fallback : it->second;
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return flags.count(key) != 0;
     }
 };
 
@@ -296,6 +328,18 @@ cmdInfer(const Args &args)
     if (batch_size == 0 || seq_len == 0)
         usage("batch and seq-len must be positive");
 
+    // Observability: either flag attaches an Observer to the context
+    // before the session captures it. The default (no flags) keeps
+    // ctx.obs null, so the forward pass pays one untaken branch per
+    // instrumentation site and nothing else.
+    std::string trace_path = args.get("trace", "");
+    bool show_metrics = args.has("metrics");
+    std::optional<Observer> observer;
+    if (!trace_path.empty() || show_metrics) {
+        observer.emplace();
+        ctx.obs = &*observer;
+    }
+
     std::ifstream is(path, std::ios::binary);
     fatalIf(!is, "cannot open ", path);
     char magic[5] = {};
@@ -353,6 +397,31 @@ cmdInfer(const Args &args)
     std::printf("\n%.1f tokens/sec (%.1f ms for %zu tokens)\n",
                 static_cast<double>(batch_size * seq_len) / secs,
                 secs * 1e3, batch_size * seq_len);
+
+    if (!trace_path.empty()) {
+        std::ofstream os(trace_path, std::ios::binary);
+        fatalIf(!os, "cannot write ", trace_path);
+        writeChromeTrace(observer->tracer, os);
+        std::printf("\nwrote %zu trace events to %s (open in "
+                    "chrome://tracing or ui.perfetto.dev)\n",
+                    observer->tracer.events().size(),
+                    trace_path.c_str());
+    }
+    if (show_metrics) {
+        MetricsSnapshot snap = observer->metrics.snapshot();
+        appendPoolCounters(snap, ThreadPool::shared().telemetry());
+        std::puts("");
+        printMetrics(snap, std::cout);
+
+        auto spans = summarizeSpans(observer->tracer);
+        ConsoleTable st({"Span", "Count", "Total ms", "Mean us"});
+        for (const auto &s : spans)
+            st.addRow({s.name, std::to_string(s.count),
+                       ConsoleTable::num(s.totalUs / 1e3, 2),
+                       ConsoleTable::num(s.meanUs, 1)});
+        std::puts("");
+        st.print(std::cout);
+    }
     return 0;
 }
 

@@ -4,14 +4,22 @@
 # ThreadSanitizer concurrency pass (tools/run_tsan.sh). Keeps the
 # packed-execution kernel and the serializer hardening sanitizer-clean.
 #
-# Usage: tools/run_checks.sh [build-dir-prefix]
+# Usage: tools/run_checks.sh [--fast] [build-dir-prefix]
 #
 # Build trees land in <prefix>-release, <prefix>-asan and the TSan
 # script's default (or $GOBO_TSAN_DIR). Set GOBO_SKIP_TSAN=1 to run
-# only the Release + ASan legs.
+# only the Release + ASan legs. --fast runs the ASan leg alone (no
+# Release tree, no TSan) — the CI sanitizer job and quick local
+# pre-commit sweeps use this.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+fast=0
+if [ "${1:-}" = "--fast" ]; then
+    fast=1
+    shift
+fi
 prefix=${1:-"$repo/build-checks"}
 
 run_leg() {
@@ -22,8 +30,10 @@ run_leg() {
     ctest --test-dir "$build" --output-on-failure -j
 }
 
-echo "== Release =="
-run_leg "$prefix-release" -DCMAKE_BUILD_TYPE=Release
+if [ "$fast" != 1 ]; then
+    echo "== Release =="
+    run_leg "$prefix-release" -DCMAKE_BUILD_TYPE=Release
+fi
 
 echo "== AddressSanitizer =="
 # VAR=x func is unportable across shells, so export for the leg instead.
@@ -32,7 +42,7 @@ export ASAN_OPTIONS
 run_leg "$prefix-asan" -DGOBO_SANITIZE=address \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-if [ "${GOBO_SKIP_TSAN:-0}" != 1 ]; then
+if [ "$fast" != 1 ] && [ "${GOBO_SKIP_TSAN:-0}" != 1 ]; then
     echo "== ThreadSanitizer (concurrency suites) =="
     "$repo/tools/run_tsan.sh" ${GOBO_TSAN_DIR:+"$GOBO_TSAN_DIR"}
 fi
