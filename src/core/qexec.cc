@@ -6,6 +6,7 @@
 #include "model/footprint.hh"
 #include "nn/encoder.hh"
 #include "obs/observer.hh"
+#include "obs/probe.hh"
 #include "tensor/ops.hh"
 #include "util/bitstream.hh"
 #include "util/logging.hh"
@@ -150,6 +151,17 @@ QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
             obs->metrics.add(obs->qexecDecodeScalar);
         if (fmt == WeightFormat::Packed)
             obs->metrics.add(obs->qexecRowsDecoded, out);
+
+        // Per-layer mirrors of the traffic counters, keyed by the span
+        // label — the measured inputs of memsim's per-layer energy
+        // attribution (obs/audit.hh).
+        const Observer::QexecLayerIds &lids = obs->layerIds(label);
+        obs->metrics.add(lids.forwards);
+        obs->metrics.add(lids.bytesStreamed, residentBytes());
+        obs->metrics.add(lids.outlierCorrections,
+                         seq * outliers.size());
+        if (fmt == WeightFormat::Packed)
+            obs->metrics.add(lids.rowsDecoded, out);
     }
 
     // Parallel over output-row blocks: each block reuses one bucket
@@ -332,6 +344,7 @@ QuantizedBertModel::encode(const ExecContext &ctx,
         }
         layerNormInplace(ctx, x, embLnGamma.flat(), embLnBeta.flat());
     }
+    probeActivation(ctx.obs, "embed", x);
 
     for (std::size_t e = 0; e < encoders.size(); ++e) {
         const auto &enc = encoders[e];
@@ -367,6 +380,9 @@ QuantizedBertModel::encode(const ExecContext &ctx,
                              enc.outLnBeta.flat());
         }
         x = std::move(y);
+        if (probeAttached(ctx.obs))
+            probeActivation(ctx.obs,
+                            "layer[" + std::to_string(e) + "]", x);
     }
     return x;
 }
@@ -446,6 +462,21 @@ QuantizedBertModel::compressedWeightBytes() const
     }
     bytes += pooler.compressed().payloadBytes();
     return bytes;
+}
+
+void
+QuantizedBertModel::forEachLayer(
+    const std::function<void(const QuantizedLinear &)> &fn) const
+{
+    for (const auto &enc : encoders) {
+        fn(enc.query);
+        fn(enc.key);
+        fn(enc.value);
+        fn(enc.attnOut);
+        fn(enc.inter);
+        fn(enc.out);
+    }
+    fn(pooler);
 }
 
 std::size_t

@@ -22,6 +22,7 @@
 #define GOBO_CORE_QEXEC_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -184,6 +185,15 @@ class QuantizedBertModel
 
     /** Sum of QuantizedLinear::residentBytes over all FC layers. */
     std::size_t residentWeightBytes() const;
+
+    /**
+     * Visit every FC layer in BertModel::fcLayers() order — encoder 0
+     * (query, key, value, attnOut, inter, out), encoder 1, ...,
+     * pooler — so audits can zip the quantized layers with the FP32
+     * originals.
+     */
+    void forEachLayer(
+        const std::function<void(const QuantizedLinear &)> &fn) const;
 
     /** The runtime index format every FC layer uses. */
     WeightFormat format() const { return fmt; }

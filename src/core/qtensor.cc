@@ -157,6 +157,20 @@ QuantizedTensor::outlierFraction() const
            / static_cast<double>(elementCount());
 }
 
+std::vector<std::uint64_t>
+QuantizedTensor::centroidOccupancy() const
+{
+    std::vector<std::uint64_t> counts(centroids.size(), 0);
+    BitReader reader(packedIndexes.data(), elementCount() * bits);
+    for (std::size_t i = 0; i < elementCount(); ++i) {
+        std::uint32_t idx = reader.get(bits);
+        fatalIf(idx >= centroids.size(), "occupancy index ", idx,
+                " out of centroid table of ", centroids.size());
+        ++counts[idx];
+    }
+    return counts;
+}
+
 void
 QuantizedTensor::save(std::ostream &os) const
 {

@@ -65,6 +65,16 @@ class QuantizedTensor
     /** Outliers as a fraction of all elements. */
     double outlierFraction() const;
 
+    /**
+     * Index-slot population per centroid: counts[k] is how many of the
+     * rows*cols packed indexes select centroid k. Every slot counts,
+     * including the slots under outliers (whose nearest-centroid index
+     * is what the execution engines' bucket accumulators actually
+     * see). The audit layer reads this to flag dead (zero-count) and
+     * saturated (one-centroid-dominated) tables.
+     */
+    std::vector<std::uint64_t> centroidOccupancy() const;
+
     /** Serialize to a stream (versioned "GOBQ" container). */
     void save(std::ostream &os) const;
 

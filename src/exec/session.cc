@@ -2,6 +2,7 @@
 
 #include "nn/encoder.hh"
 #include "obs/observer.hh"
+#include "obs/probe.hh"
 #include "util/logging.hh"
 
 namespace gobo {
@@ -124,11 +125,18 @@ InferenceSession::headLogits(std::span<const std::int32_t> tokens) const
 {
     SequenceProbe probe(ctx.obs, tokens.size());
     ScopedSpan span(ctx.obs, "session.headLogits");
-    if (quantized)
-        return quantized->classify(ctx, tokens);
-    Tensor hidden = gobo::encodeSequence(ctx, *fp32, tokens);
-    Tensor pooled = pool(*fp32, hidden);
-    return gobo::headLogits(*fp32, pooled);
+    Tensor logits;
+    if (quantized) {
+        logits = quantized->classify(ctx, tokens);
+    } else {
+        Tensor hidden = gobo::encodeSequence(ctx, *fp32, tokens);
+        Tensor pooled = pool(*fp32, hidden);
+        logits = gobo::headLogits(*fp32, pooled);
+    }
+    // Both engines emit at the same point, so a Capture run on the
+    // FP32 session pairs with a Compare run on the quantized one.
+    probeActivation(ctx.obs, "logits", logits);
+    return logits;
 }
 
 Tensor

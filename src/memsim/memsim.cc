@@ -62,4 +62,28 @@ estimate(const InferenceCost &cost, const MemParams &params)
     return r;
 }
 
+std::vector<LayerAttribution>
+attributeMeasured(const std::vector<MeasuredTraffic> &traffic,
+                  const MemParams &params)
+{
+    std::vector<LayerAttribution> out;
+    out.reserve(traffic.size());
+    for (const auto &t : traffic) {
+        LayerAttribution a;
+        a.layer = t.layer;
+        double bits = static_cast<double>(t.bytesStreamed) * 8.0;
+        a.offChipEnergyMicroJ = bits * params.dramPjPerBit * 1e-6;
+        a.computeEnergyMicroJ = t.macs * params.pjPerMac * 1e-6;
+        a.totalEnergyMicroJ = a.offChipEnergyMicroJ
+                              + a.computeEnergyMicroJ;
+        a.memoryLatencyMs = static_cast<double>(t.bytesStreamed)
+                            / (params.dramGBps * 1e9) * 1e3;
+        a.computeLatencyMs = t.macs / params.macsPerSecond * 1e3;
+        a.latencyMs = std::max(a.memoryLatencyMs, a.computeLatencyMs);
+        a.memoryBound = a.memoryLatencyMs >= a.computeLatencyMs;
+        out.push_back(std::move(a));
+    }
+    return out;
+}
+
 } // namespace gobo

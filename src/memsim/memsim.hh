@@ -18,6 +18,9 @@
 #define GOBO_MEMSIM_MEMSIM_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "model/config.hh"
 
@@ -78,6 +81,48 @@ struct MemReport
 
 /** Evaluate the model under the technology parameters. */
 MemReport estimate(const InferenceCost &cost, const MemParams &params);
+
+/**
+ * Traffic one FC layer actually generated, read back from the
+ * per-layer qexec.layer.<label>.* counters of an observed run rather
+ * than predicted from the model config. `macs` is derived by the
+ * caller (forwards × per-forward op count) since the counters record
+ * traffic, not arithmetic.
+ */
+struct MeasuredTraffic
+{
+    std::string layer;                   ///< Span label, "enc[0].query".
+    std::uint64_t forwards = 0;          ///< Forward passes observed.
+    std::uint64_t bytesStreamed = 0;     ///< Weight bytes streamed.
+    std::uint64_t rowsDecoded = 0;       ///< Packed rows decoded.
+    std::uint64_t outlierCorrections = 0;///< Correction MACs applied.
+    double macs = 0.0;                   ///< Derived MACs for `forwards`.
+};
+
+/** Energy/latency attributed to one layer from measured traffic. */
+struct LayerAttribution
+{
+    std::string layer;
+    double offChipEnergyMicroJ = 0.0;
+    double computeEnergyMicroJ = 0.0;
+    double totalEnergyMicroJ = 0.0;
+    double memoryLatencyMs = 0.0;
+    double computeLatencyMs = 0.0;
+    double latencyMs = 0.0; ///< max(memory, compute) per layer.
+    bool memoryBound = false;
+};
+
+/**
+ * Attribute energy and bandwidth-bound latency to each layer from its
+ * measured traffic. Unlike estimate(), the weight bytes here are what
+ * the execution engine streamed (compressed container bytes for
+ * Packed, widened indexes for Unpacked) — the analytical on-chip
+ * activation term has no measured counterpart and is deliberately
+ * excluded, so totals cover DRAM + compute only.
+ */
+std::vector<LayerAttribution>
+attributeMeasured(const std::vector<MeasuredTraffic> &traffic,
+                  const MemParams &params);
 
 } // namespace gobo
 

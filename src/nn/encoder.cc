@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/observer.hh"
+#include "obs/probe.hh"
 #include "tensor/ops.hh"
 #include "util/logging.hh"
 
@@ -138,10 +139,16 @@ encodeSequence(const ExecContext &ctx, const BertModel &model,
         ScopedSpan span(ctx.obs, "embed");
         x = embedTokens(model, token_ids);
     }
+    probeActivation(ctx.obs, "embed", x);
     for (std::size_t e = 0; e < model.encoders.size(); ++e) {
-        ScopedSpan span(ctx.obs, "layer", e);
-        x = encoderForward(ctx, model.encoders[e], x,
-                           model.config().numHeads);
+        {
+            ScopedSpan span(ctx.obs, "layer", e);
+            x = encoderForward(ctx, model.encoders[e], x,
+                               model.config().numHeads);
+        }
+        if (probeAttached(ctx.obs))
+            probeActivation(ctx.obs,
+                            "layer[" + std::to_string(e) + "]", x);
     }
     return x;
 }

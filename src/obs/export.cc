@@ -86,16 +86,21 @@ printMetrics(const MetricsSnapshot &snap, std::ostream &os)
         os << "\n";
     }
 
-    ConsoleTable hists({"Histogram", "Count", "Mean", "p50", "p90",
-                        "p99"});
+    ConsoleTable hists({"Histogram", "Count", "Overflow", "Mean", "p50",
+                        "p90", "p99"});
     for (const auto &h : snap.histograms) {
         if (h.count == 0)
             continue;
+        // Quantiles clamp at the last finite bound, so once a
+        // meaningful share of samples overflowed they are only lower
+        // bounds — mark them instead of printing a misleading p99.
+        const char *lb = h.quantilesAreLowerBounds() ? ">=" : "";
         hists.addRow({h.name, std::to_string(h.count),
+                      std::to_string(h.overflow()),
                       ConsoleTable::num(h.mean(), 1),
-                      ConsoleTable::num(h.quantile(0.50), 1),
-                      ConsoleTable::num(h.quantile(0.90), 1),
-                      ConsoleTable::num(h.quantile(0.99), 1)});
+                      lb + ConsoleTable::num(h.quantile(0.50), 1),
+                      lb + ConsoleTable::num(h.quantile(0.90), 1),
+                      lb + ConsoleTable::num(h.quantile(0.99), 1)});
     }
     if (hists.rowCount() > 0)
         hists.print(os);
@@ -116,6 +121,9 @@ writeMetricsJson(const MetricsSnapshot &snap, std::ostream &os)
     for (const auto &h : snap.histograms) {
         os << (first ? "\n" : ",\n") << "    {\"name\": \""
            << jsonEscape(h.name) << "\", \"count\": " << h.count
+           << ", \"overflow\": " << h.overflow()
+           << ", \"quantiles_lower_bound\": "
+           << (h.quantilesAreLowerBounds() ? "true" : "false")
            << ", \"sum\": " << jsonNum(h.sum)
            << ", \"mean\": " << jsonNum(h.mean())
            << ", \"p50\": " << jsonNum(h.quantile(0.50))

@@ -87,6 +87,26 @@ HistogramSnapshot::quantile(double q) const
     return bounds.back();
 }
 
+std::uint64_t
+HistogramSnapshot::overflow() const
+{
+    return counts.empty() ? 0 : counts.back();
+}
+
+double
+HistogramSnapshot::overflowFraction() const
+{
+    return count ? static_cast<double>(overflow())
+                       / static_cast<double>(count)
+                 : 0.0;
+}
+
+bool
+HistogramSnapshot::quantilesAreLowerBounds() const
+{
+    return overflowFraction() > 0.01;
+}
+
 const MetricsSnapshot::CounterValue *
 MetricsSnapshot::findCounter(std::string_view name) const
 {

@@ -63,9 +63,24 @@ struct HistogramSnapshot
      * contains rank q * count. q in [0, 1]; 0 when empty. Values in
      * the overflow bucket report the last finite bound (histograms
      * cannot interpolate toward infinity), so choose bounds that cover
-     * the expected range.
+     * the expected range — and check quantilesAreLowerBounds() before
+     * trusting a tail quantile.
      */
     double quantile(double q) const;
+
+    /** Observations past the last finite bound (the +inf bucket). */
+    std::uint64_t overflow() const;
+
+    /** overflow() as a fraction of count (0 when empty). */
+    double overflowFraction() const;
+
+    /**
+     * True when more than 1% of samples saturated into the overflow
+     * bucket: quantiles then clamp to the last finite bound and must
+     * be read as lower bounds ("≥"), which is how the exporters mark
+     * them.
+     */
+    bool quantilesAreLowerBounds() const;
 };
 
 /** Point-in-time merged view of every metric in a registry. */

@@ -20,6 +20,8 @@
 #define GOBO_OBS_OBSERVER_HH
 
 #include <cstddef>
+#include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -27,6 +29,8 @@
 #include "obs/trace.hh"
 
 namespace gobo {
+
+class ActivationProbe; // obs/probe.hh; observers only carry the pointer.
 
 /** Metrics + tracing for one run; see file comment for the contract. */
 class Observer
@@ -55,6 +59,13 @@ class Observer
     MetricsRegistry metrics;
     Tracer tracer;
 
+    /**
+     * Optional divergence probe (obs/probe.hh); null by default.
+     * Engines hand activations to it through probeActivation(), which
+     * costs two branches when no sampling probe is attached.
+     */
+    ActivationProbe *probe = nullptr;
+
     // Pre-interned ids for the instrumented hot paths. Counter names
     // follow the `subsystem.event[.variant]` scheme DESIGN.md §9
     // documents; histograms carry a `_us` unit suffix.
@@ -79,6 +90,48 @@ class Observer
         if (obs)
             obs->metrics.add(id, delta);
     }
+
+    /** Per-layer qexec counter ids (qexec.layer.<label>.*). */
+    struct QexecLayerIds
+    {
+        CounterId forwards;
+        CounterId rowsDecoded;
+        CounterId bytesStreamed;
+        CounterId outlierCorrections;
+    };
+
+    /**
+     * Intern (or look up) the per-layer counter quartet for one span
+     * label. These feed the audit layer's measured-traffic energy
+     * attribution, so they are keyed by the same labels the trace
+     * spans use ("enc[0].query", "pooler"). One mutex + map lookup per
+     * observed layer forward — heavier than the pre-interned global
+     * ids, but still outside every kernel loop; the returned reference
+     * stays valid for the observer's lifetime (std::map nodes are
+     * stable).
+     */
+    const QexecLayerIds &
+    layerIds(const std::string &label)
+    {
+        std::lock_guard lock(layerIdsMutex);
+        auto it = layerIdsByLabel.find(label);
+        if (it == layerIdsByLabel.end()) {
+            QexecLayerIds ids;
+            std::string prefix = "qexec.layer." + label;
+            ids.forwards = metrics.counter(prefix + ".forwards");
+            ids.rowsDecoded = metrics.counter(prefix + ".rows_decoded");
+            ids.bytesStreamed =
+                metrics.counter(prefix + ".bytes_streamed");
+            ids.outlierCorrections =
+                metrics.counter(prefix + ".outlier_corrections");
+            it = layerIdsByLabel.emplace(label, ids).first;
+        }
+        return it->second;
+    }
+
+  private:
+    std::mutex layerIdsMutex;
+    std::map<std::string, Observer::QexecLayerIds> layerIdsByLabel;
 };
 
 /**

@@ -1,0 +1,122 @@
+#include "obs/probe.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gobo {
+
+ActivationProbe::ActivationProbe(ProbeMode mode) : phase(mode) {}
+
+void
+ActivationProbe::setMode(ProbeMode mode)
+{
+    std::lock_guard lock(mutex);
+    phase = mode;
+    for (auto &[name, state] : points)
+        state.cursor = 0;
+}
+
+ProbeMode
+ActivationProbe::mode() const
+{
+    std::lock_guard lock(mutex);
+    return phase;
+}
+
+void
+ActivationProbe::record(std::string_view point, const Tensor &t)
+{
+    if (!samplingEnabled())
+        return;
+    std::lock_guard lock(mutex);
+    auto it = points.find(point);
+    if (it == points.end()) {
+        PointState fresh;
+        fresh.order = points.size();
+        it = points.emplace(std::string(point), std::move(fresh)).first;
+    }
+    PointState &state = it->second;
+
+    if (phase == ProbeMode::Capture) {
+        auto flat = t.flat();
+        state.captured.emplace_back(flat.begin(), flat.end());
+        return;
+    }
+
+    // Compare: pair with the next captured reference in emission order.
+    if (state.cursor >= state.captured.size()
+        || state.captured[state.cursor].size() != t.size()) {
+        ++state.mismatches;
+        if (state.cursor < state.captured.size())
+            ++state.cursor;
+        return;
+    }
+    const std::vector<float> &ref = state.captured[state.cursor++];
+    auto flat = t.flat();
+    double max_abs = 0.0, dot = 0.0, ref_sq = 0.0, obs_sq = 0.0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        double a = ref[i], b = flat[i];
+        max_abs = std::max(max_abs, std::abs(a - b));
+        dot += a * b;
+        ref_sq += a * a;
+        obs_sq += b * b;
+    }
+    // Cosine of two zero vectors is 1 by convention (identical), of
+    // one zero vector 0 (nothing shared) — keeps every report finite.
+    double cosine;
+    if (ref_sq == 0.0 && obs_sq == 0.0)
+        cosine = 1.0;
+    else if (ref_sq == 0.0 || obs_sq == 0.0)
+        cosine = 0.0;
+    else
+        cosine = dot / (std::sqrt(ref_sq) * std::sqrt(obs_sq));
+
+    ++state.samples;
+    state.maxAbs = std::max(state.maxAbs, max_abs);
+    state.cosineSum += cosine;
+    state.minCosine = std::min(state.minCosine, cosine);
+}
+
+std::size_t
+ActivationProbe::capturedCount(std::string_view point) const
+{
+    std::lock_guard lock(mutex);
+    auto it = points.find(point);
+    return it == points.end() ? 0 : it->second.captured.size();
+}
+
+std::vector<PointDivergence>
+ActivationProbe::divergence() const
+{
+    std::lock_guard lock(mutex);
+    std::vector<PointDivergence> out(points.size());
+    for (const auto &[name, state] : points) {
+        PointDivergence &d = out[state.order];
+        d.point = name;
+        d.samples = state.samples;
+        d.mismatches = state.mismatches;
+        d.maxAbs = state.maxAbs;
+        d.meanCosine = state.samples
+                           ? state.cosineSum
+                                 / static_cast<double>(state.samples)
+                           : 1.0;
+        d.minCosine = state.minCosine;
+    }
+    return out;
+}
+
+void
+ActivationProbe::reset()
+{
+    std::lock_guard lock(mutex);
+    points.clear();
+}
+
+void
+probeActivation(Observer *obs, std::string_view point, const Tensor &t)
+{
+    if (probeAttached(obs))
+        obs->probe->record(point, t);
+}
+
+} // namespace gobo

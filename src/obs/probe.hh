@@ -1,0 +1,130 @@
+/**
+ * @file
+ * ActivationProbe — runtime divergence probes for the audit layer.
+ *
+ * A probe rides on an Observer (`Observer::probe`, null by default)
+ * and records named activation points ("embed", "layer[e]", "logits")
+ * as the engines emit them. It runs in two phases: Capture stores the
+ * FP32 reference activations in emission order; Compare replays the
+ * same workload through another engine and folds per-point divergence
+ * (max-abs difference and cosine similarity) against the captured
+ * reference instead of storing anything.
+ *
+ * Contract: probe sites only *read* activations after the compute that
+ * produced them — they never touch float state the engines consume —
+ * so an attached probe cannot change results, and with sampling
+ * disabled (`setSampling(false)`) a probe records nothing at all:
+ * probes-off runs are bit-identical to unobserved runs (asserted in
+ * tests/test_audit.cc). Emission order is the comparison key, so drive
+ * probed runs with serial single-sequence calls (the audit harness
+ * does); parallel batches record safely but interleave
+ * nondeterministically.
+ */
+
+#ifndef GOBO_OBS_PROBE_HH
+#define GOBO_OBS_PROBE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/observer.hh"
+#include "tensor/tensor.hh"
+
+namespace gobo {
+
+/** What record() does with an incoming activation. */
+enum class ProbeMode
+{
+    Capture, ///< store the tensor as the reference for this point.
+    Compare, ///< fold divergence against the next captured reference.
+};
+
+/** Divergence of one probe point across every compared sample. */
+struct PointDivergence
+{
+    std::string point;          ///< "embed", "layer[3]", "logits", ...
+    std::size_t samples = 0;    ///< successfully compared tensors.
+    std::size_t mismatches = 0; ///< missing reference or shape skew.
+    double maxAbs = 0.0;        ///< max |ref - observed| over samples.
+    double meanCosine = 1.0;    ///< mean cosine similarity.
+    double minCosine = 1.0;     ///< worst cosine similarity.
+};
+
+/** Two-phase activation recorder; see file comment for the protocol. */
+class ActivationProbe
+{
+  public:
+    explicit ActivationProbe(ProbeMode mode = ProbeMode::Capture);
+
+    /** Switch phase; Compare restarts every point's replay cursor. */
+    void setMode(ProbeMode mode);
+    ProbeMode mode() const;
+
+    /**
+     * Sampling gate: while false, record() returns before touching any
+     * state — the "probes off" configuration the bit-identity contract
+     * test pins down.
+     */
+    void setSampling(bool enabled)
+    {
+        sampling.store(enabled, std::memory_order_relaxed);
+    }
+    bool samplingEnabled() const
+    {
+        return sampling.load(std::memory_order_relaxed);
+    }
+
+    /** Record one activation at a named point (thread-safe). */
+    void record(std::string_view point, const Tensor &t);
+
+    /** Captured reference count for one point (0 when unknown). */
+    std::size_t capturedCount(std::string_view point) const;
+
+    /** Per-point divergence, in first-emission order. */
+    std::vector<PointDivergence> divergence() const;
+
+    /** Drop all captured references and divergence state. */
+    void reset();
+
+  private:
+    struct PointState
+    {
+        std::size_t order = 0; ///< first-emission rank, for reporting.
+        std::vector<std::vector<float>> captured;
+        std::size_t cursor = 0; ///< next reference to compare against.
+        std::size_t samples = 0;
+        std::size_t mismatches = 0;
+        double maxAbs = 0.0;
+        double cosineSum = 0.0;
+        double minCosine = 1.0;
+    };
+
+    mutable std::mutex mutex;
+    std::map<std::string, PointState, std::less<>> points;
+    ProbeMode phase;
+    std::atomic<bool> sampling{true};
+};
+
+/** True when `obs` carries a probe that is currently sampling. */
+inline bool
+probeAttached(const Observer *obs)
+{
+    return obs && obs->probe && obs->probe->samplingEnabled();
+}
+
+/**
+ * Record `t` at `point` when a sampling probe is attached; otherwise a
+ * couple of branches. Instrumentation sites build point names only
+ * after checking probeAttached().
+ */
+void probeActivation(Observer *obs, std::string_view point,
+                     const Tensor &t);
+
+} // namespace gobo
+
+#endif // GOBO_OBS_PROBE_HH

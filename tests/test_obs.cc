@@ -119,6 +119,83 @@ TEST(Metrics, HistogramOverflowClampsToLastBound)
     EXPECT_EQ(hist->quantile(0.5), 10.0);
 }
 
+TEST(Metrics, OverflowCountAndLowerBoundFlag)
+{
+    MetricsRegistry reg;
+    HistogramId h = reg.histogram("of2", {1.0, 10.0});
+    for (int i = 0; i < 97; ++i)
+        reg.observe(h, 0.5);
+    for (int i = 0; i < 3; ++i)
+        reg.observe(h, 1e6); // 3% overflow: past the 1% threshold
+    auto snap = reg.snapshot();
+    const HistogramSnapshot *hist = snap.findHistogram("of2");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->overflow(), 3u);
+    EXPECT_NEAR(hist->overflowFraction(), 0.03, 1e-12);
+    EXPECT_TRUE(hist->quantilesAreLowerBounds());
+}
+
+TEST(Metrics, RareOverflowDoesNotMarkLowerBounds)
+{
+    MetricsRegistry reg;
+    HistogramId h = reg.histogram("rare", {1.0, 10.0});
+    for (int i = 0; i < 999; ++i)
+        reg.observe(h, 0.5);
+    reg.observe(h, 1e6); // 0.1% overflow: under the threshold
+    auto snap = reg.snapshot();
+    const HistogramSnapshot *hist = snap.findHistogram("rare");
+    EXPECT_EQ(hist->overflow(), 1u);
+    EXPECT_FALSE(hist->quantilesAreLowerBounds());
+}
+
+TEST(Metrics, EmptyHistogramOverflowIsZero)
+{
+    MetricsRegistry reg;
+    reg.histogram("nothing", {1.0});
+    auto snap = reg.snapshot();
+    const HistogramSnapshot *hist = snap.findHistogram("nothing");
+    EXPECT_EQ(hist->overflow(), 0u);
+    EXPECT_DOUBLE_EQ(hist->overflowFraction(), 0.0);
+    EXPECT_FALSE(hist->quantilesAreLowerBounds());
+}
+
+TEST(Export, OverflowSurfacesInBothExporters)
+{
+    MetricsRegistry reg;
+    HistogramId h = reg.histogram("sat_us", {1.0, 2.0});
+    reg.observe(h, 0.5);
+    reg.observe(h, 1e9); // 50% overflow
+    auto snap = reg.snapshot();
+
+    std::ostringstream table;
+    printMetrics(snap, table);
+    EXPECT_NE(table.str().find("Overflow"), std::string::npos);
+    // Quantiles are clamped, so the console marks them as ">=" bounds.
+    EXPECT_NE(table.str().find(">="), std::string::npos);
+
+    std::ostringstream json;
+    writeMetricsJson(snap, json);
+    EXPECT_NE(json.str().find("\"overflow\": 1"), std::string::npos);
+    EXPECT_NE(json.str().find("\"quantiles_lower_bound\": true"),
+              std::string::npos);
+}
+
+TEST(Export, UnsaturatedHistogramIsNotMarked)
+{
+    MetricsRegistry reg;
+    HistogramId h = reg.histogram("ok_us", {1.0, 2.0});
+    for (int i = 0; i < 200; ++i)
+        reg.observe(h, 0.5);
+    auto snap = reg.snapshot();
+    std::ostringstream table;
+    printMetrics(snap, table);
+    EXPECT_EQ(table.str().find(">="), std::string::npos);
+    std::ostringstream json;
+    writeMetricsJson(snap, json);
+    EXPECT_NE(json.str().find("\"quantiles_lower_bound\": false"),
+              std::string::npos);
+}
+
 TEST(Metrics, EmptyHistogramQuantileIsZero)
 {
     MetricsRegistry reg;

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_forward.json files with regression thresholds.
+
+Compares a candidate run against a baseline (typically the committed
+bench/baseline/BENCH_forward.json) on three axes:
+
+  * resident_bytes per engine/backend — the compression contract; this
+    is deterministic, so the tolerance is tight (default 1.01x).
+  * tokens_per_sec per engine/backend — noisy across machines, so the
+    default only flags collapses below `--tps-tol` (0.4 = flag when
+    the candidate is slower than 40% of baseline).
+  * per-span mean_us for spans present in both files — flags any span
+    whose mean latency grew by more than `--span-tol` (default 2.0x).
+
+Exit status: 0 when everything is within tolerance, 1 when any
+threshold is breached, 2 on malformed input. Intended for the
+non-blocking CI bench job, which prints the diff as an FYI.
+
+Usage: bench_diff.py BASELINE.json CANDIDATE.json
+           [--span-tol X] [--resident-tol X] [--tps-tol X]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    if data.get("bench") != "micro_forward":
+        sys.exit(f"bench_diff: {path} is not a micro_forward result")
+    return data
+
+
+def results_by_key(data):
+    return {
+        (r["engine"], r["backend"]): r for r in data.get("results", [])
+    }
+
+
+def spans_by_name(data):
+    return {s["name"]: s for s in data.get("spans", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two BENCH_forward.json files")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--span-tol", type=float, default=2.0,
+                    help="max allowed span mean_us growth factor")
+    ap.add_argument("--resident-tol", type=float, default=1.01,
+                    help="max allowed resident_bytes growth factor")
+    ap.add_argument("--tps-tol", type=float, default=0.4,
+                    help="min allowed tokens_per_sec fraction")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    failures = []
+
+    print(f"bench_diff: {args.baseline} -> {args.candidate}")
+    base_r = results_by_key(base)
+    cand_r = results_by_key(cand)
+    for key in sorted(base_r):
+        if key not in cand_r:
+            failures.append(f"missing result for {key[0]}/{key[1]}")
+            continue
+        b, c = base_r[key], cand_r[key]
+        name = f"{key[0]}/{key[1]}"
+
+        rb = b.get("resident_bytes", 0)
+        rc = c.get("resident_bytes", 0)
+        if rb > 0:
+            ratio = rc / rb
+            mark = ""
+            if ratio > args.resident_tol:
+                failures.append(
+                    f"{name}: resident_bytes {rb} -> {rc} "
+                    f"({ratio:.3f}x > {args.resident_tol}x)")
+                mark = "  <-- FAIL"
+            print(f"  {name:22s} resident {rb:>10d} -> {rc:>10d} "
+                  f"({ratio:.3f}x){mark}")
+
+        tb = b.get("tokens_per_sec", 0)
+        tc = c.get("tokens_per_sec", 0)
+        if tb > 0:
+            frac = tc / tb
+            mark = ""
+            if frac < args.tps_tol:
+                failures.append(
+                    f"{name}: tokens/sec {tb:.0f} -> {tc:.0f} "
+                    f"({frac:.2f}x < {args.tps_tol}x)")
+                mark = "  <-- FAIL"
+            print(f"  {name:22s} tok/s    {tb:>10.0f} -> {tc:>10.0f} "
+                  f"({frac:.2f}x){mark}")
+
+    print("  spans (shared, by mean_us growth):")
+    base_s = spans_by_name(base)
+    cand_s = spans_by_name(cand)
+    shared = sorted(set(base_s) & set(cand_s))
+    grown = []
+    for name in shared:
+        bm, cm = base_s[name]["mean_us"], cand_s[name]["mean_us"]
+        if bm <= 0:
+            continue
+        grown.append((cm / bm, name, bm, cm))
+    for ratio, name, bm, cm in sorted(grown, reverse=True):
+        mark = ""
+        if ratio > args.span_tol:
+            failures.append(
+                f"span {name}: mean {bm:.1f}us -> {cm:.1f}us "
+                f"({ratio:.2f}x > {args.span_tol}x)")
+            mark = "  <-- FAIL"
+        print(f"    {name:28s} {bm:>10.1f} -> {cm:>10.1f} us "
+              f"({ratio:.2f}x){mark}")
+
+    if failures:
+        print(f"\nbench_diff: {len(failures)} threshold breach(es):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench_diff: all within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

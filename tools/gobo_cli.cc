@@ -13,6 +13,11 @@
  *                  [--threads N] [--backend serial|parallel]
  *                  [--engine fp32|qexec] [--format unpacked|packed]
  *                  [--seed N] [--trace OUT.json] [--metrics]
+ *                  [--metrics-json OUT.json]
+ *   gobo audit     model.gobm [--bits B] [--embedding-bits E]
+ *                  [--method gobo|kmeans|linear] [--threshold T]
+ *                  [--format unpacked|packed] [--sequences N]
+ *                  [--seq-len S] [--seed N] [--json OUT.json]
  *
  * `generate` writes a synthetic FP32 checkpoint (see model/generate);
  * `compress` produces the GOBC container and prints the per-layer
@@ -23,7 +28,11 @@
  * With `--trace` the run is recorded as Chrome trace-event JSON
  * (load it in chrome://tracing or ui.perfetto.dev); `--metrics`
  * prints the counter/histogram registry plus a span summary and the
- * thread-pool telemetry after the run.
+ * thread-pool telemetry after the run; `--metrics-json` writes the
+ * same registry as machine JSON. `audit` quantizes the model and runs
+ * the three-pillar quality/traffic audit (per-layer fidelity, FP32 vs
+ * quantized divergence, measured-traffic energy attribution); see
+ * DESIGN.md §10.
  */
 
 #include <cstdio>
@@ -43,6 +52,7 @@
 #include "model/footprint.hh"
 #include "model/generate.hh"
 #include "model/serialize.hh"
+#include "obs/audit.hh"
 #include "obs/export.hh"
 #include "obs/observer.hh"
 #include "tensor/ops.hh"
@@ -74,7 +84,13 @@ usage(const char *msg = nullptr)
         "                 [--backend serial|parallel]"
         " [--engine fp32|qexec]\n"
         "                 [--format unpacked|packed] [--seed N]\n"
-        "                 [--trace OUT.json] [--metrics]\n"
+        "                 [--trace OUT.json] [--metrics]"
+        " [--metrics-json OUT.json]\n"
+        "  gobo audit     FILE [--bits B] [--embedding-bits E]"
+        " [--method M]\n"
+        "                 [--threshold T] [--format unpacked|packed]\n"
+        "                 [--sequences N] [--seq-len S] [--seed N]\n"
+        "                 [--json OUT.json]\n"
         "\nfamilies: bert-base bert-large distilbert roberta"
         " roberta-large\n",
         stderr);
@@ -328,14 +344,16 @@ cmdInfer(const Args &args)
     if (batch_size == 0 || seq_len == 0)
         usage("batch and seq-len must be positive");
 
-    // Observability: either flag attaches an Observer to the context
-    // before the session captures it. The default (no flags) keeps
-    // ctx.obs null, so the forward pass pays one untaken branch per
-    // instrumentation site and nothing else.
+    // Observability: any of these flags attaches an Observer to the
+    // context before the session captures it. The default (no flags)
+    // keeps ctx.obs null, so the forward pass pays one untaken branch
+    // per instrumentation site and nothing else.
     std::string trace_path = args.get("trace", "");
+    std::string metrics_json_path = args.get("metrics-json", "");
     bool show_metrics = args.has("metrics");
     std::optional<Observer> observer;
-    if (!trace_path.empty() || show_metrics) {
+    if (!trace_path.empty() || show_metrics
+        || !metrics_json_path.empty()) {
         observer.emplace();
         ctx.obs = &*observer;
     }
@@ -407,20 +425,86 @@ cmdInfer(const Args &args)
                     observer->tracer.events().size(),
                     trace_path.c_str());
     }
-    if (show_metrics) {
+    if (show_metrics || !metrics_json_path.empty()) {
         MetricsSnapshot snap = observer->metrics.snapshot();
         appendPoolCounters(snap, ThreadPool::shared().telemetry());
-        std::puts("");
-        printMetrics(snap, std::cout);
+        if (show_metrics) {
+            std::puts("");
+            printMetrics(snap, std::cout);
 
-        auto spans = summarizeSpans(observer->tracer);
-        ConsoleTable st({"Span", "Count", "Total ms", "Mean us"});
-        for (const auto &s : spans)
-            st.addRow({s.name, std::to_string(s.count),
-                       ConsoleTable::num(s.totalUs / 1e3, 2),
-                       ConsoleTable::num(s.meanUs, 1)});
-        std::puts("");
-        st.print(std::cout);
+            auto spans = summarizeSpans(observer->tracer);
+            ConsoleTable st({"Span", "Count", "Total ms", "Mean us"});
+            for (const auto &s : spans)
+                st.addRow({s.name, std::to_string(s.count),
+                           ConsoleTable::num(s.totalUs / 1e3, 2),
+                           ConsoleTable::num(s.meanUs, 1)});
+            std::puts("");
+            st.print(std::cout);
+        }
+        if (!metrics_json_path.empty()) {
+            std::ofstream os(metrics_json_path, std::ios::binary);
+            fatalIf(!os, "cannot write ", metrics_json_path);
+            writeMetricsJson(snap, os);
+            std::printf("\nwrote metrics JSON to %s\n",
+                        metrics_json_path.c_str());
+        }
+    }
+    return 0;
+}
+
+int
+cmdAudit(const Args &args)
+{
+    if (args.positional.empty())
+        usage("audit needs a model file");
+    std::string path = args.positional[0];
+
+    AuditOptions opt;
+    opt.quant.base.bits = static_cast<unsigned>(
+        std::stoul(args.get("bits", "3")));
+    opt.quant.embeddingBits = static_cast<unsigned>(
+        std::stoul(args.get("embedding-bits", "0")));
+    opt.quant.base.method = parseMethod(args.get("method", "gobo"));
+    opt.quant.base.outlierThreshold = std::stod(
+        args.get("threshold", "-4"));
+    std::string format = args.get("format", "unpacked");
+    if (format == "packed")
+        opt.quant.format = WeightFormat::Packed;
+    else if (format != "unpacked")
+        usage(("unknown format: " + format).c_str());
+    opt.sequences = std::stoul(args.get("sequences", "4"));
+    opt.seqLen = std::stoul(args.get("seq-len", "32"));
+    opt.seed = std::strtoull(args.get("seed", "42").c_str(), nullptr,
+                             10);
+    if (opt.sequences == 0 || opt.seqLen == 0)
+        usage("sequences and seq-len must be positive");
+
+    std::ifstream is(path, std::ios::binary);
+    fatalIf(!is, "cannot open ", path);
+    char magic[5] = {};
+    is.read(magic, 4);
+    fatalIf(!is, "cannot read ", path);
+    is.close();
+    // A container decodes to FP32 first; the audit then measures its
+    // re-quantization under the requested settings.
+    bool is_container = std::memcmp(magic, "CBOG", 4) == 0;
+    BertModel model = is_container ? loadCompressedModel(path)
+                                   : loadModel(path);
+
+    WallTimer timer;
+    AuditReport report = auditModel(model, opt);
+    double secs = timer.seconds();
+
+    printAuditReport(report, std::cout);
+    std::printf("\naudited %zu layers in %.2f s\n",
+                report.fidelity.size(), secs);
+
+    std::string json_path = args.get("json", "");
+    if (!json_path.empty()) {
+        std::ofstream os(json_path, std::ios::binary);
+        fatalIf(!os, "cannot write ", json_path);
+        writeAuditJson(report, os);
+        std::printf("wrote audit JSON to %s\n", json_path.c_str());
     }
     return 0;
 }
@@ -445,6 +529,8 @@ main(int argc, char **argv)
             return cmdInspect(args);
         if (cmd == "infer")
             return cmdInfer(args);
+        if (cmd == "audit")
+            return cmdAudit(args);
         usage(("unknown command: " + cmd).c_str());
     } catch (const gobo::FatalError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());
