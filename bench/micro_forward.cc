@@ -28,6 +28,7 @@
 #include "bench/bench_util.hh"
 #include "core/qexec.hh"
 #include "exec/session.hh"
+#include "kernels/kernels.hh"
 #include "model/generate.hh"
 #include "obs/export.hh"
 #include "obs/observer.hh"
@@ -95,9 +96,10 @@ main(int argc, char **argv)
         }
     }
 
+    const char *tier = activeKernels().name;
     std::printf("Micro-benchmark: forward-pass throughput "
-                "(threads=%zu, seq=%zu, batch=%zu)\n\n",
-                threads, seq_len, batch_size);
+                "(threads=%zu, seq=%zu, batch=%zu, kernels=%s)\n\n",
+                threads, seq_len, batch_size, tier);
 
     auto cfg = miniConfig(ModelFamily::BertBase);
     BertModel model = generateModel(cfg, seed);
@@ -230,8 +232,9 @@ main(int argc, char **argv)
         std::fprintf(json,
                      "{\n  \"bench\": \"micro_forward\",\n"
                      "  \"seq_len\": %zu,\n  \"batch\": %zu,\n"
-                     "  \"threads\": %zu,\n  \"results\": [\n",
-                     seq_len, batch_size, threads);
+                     "  \"threads\": %zu,\n  \"kernel_tier\": \"%s\",\n"
+                     "  \"results\": [\n",
+                     seq_len, batch_size, threads, tier);
         for (std::size_t i = 0; i < results.size(); ++i)
             std::fprintf(json,
                          "    {\"engine\": \"%s\", \"backend\": \"%s\","

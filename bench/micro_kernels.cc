@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Per-kernel throughput: the SIMD layer measured in isolation.
+ *
+ * Times the three hot kernels — fold-left dot, axpy, and the
+ * sequence-tiled bucket scatter (phase 1 of the compressed-domain FC)
+ * — on every tier the host can run, and reports GB/s of streamed
+ * operands and GFLOP/s of useful arithmetic. The bucket kernel is
+ * swept across B in {2, 3, 4} (k = 2^B buckets): its flop count per
+ * element is fixed (one add per index per lane), so the sweep shows
+ * how bucket-working-set size moves the scatter, not the flops.
+ *
+ * Results go to BENCH_kernels.json (or --out PATH); the committed
+ * baseline lives in bench/baseline/BENCH_kernels.json. Schema is in
+ * EXPERIMENTS.md. Tier-to-tier speedup here is the microscopic view
+ * of the micro_forward end-to-end win.
+ *
+ * Flags: --seed N, --fast (fewer repetitions), --out PATH.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "kernels/kernels.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+
+using namespace gobo;
+
+namespace {
+
+struct Result
+{
+    std::string kernel;
+    std::string tier;
+    unsigned bits = 0; ///< 0 when the kernel does not depend on B.
+    std::size_t n = 0;
+    double gbPerSec = 0.0;
+    double gflopPerSec = 0.0;
+};
+
+/** Consumed by every timing loop so the kernel calls stay live. */
+volatile double g_sink = 0.0;
+
+double
+timeDot(const KernelSet &kn, const std::vector<float> &a,
+        const std::vector<float> &b, std::size_t reps)
+{
+    std::size_t n = a.size();
+    float acc = 0.0f;
+    acc = kn.dot(acc, a.data(), b.data(), n); // warm-up
+    WallTimer timer;
+    for (std::size_t r = 0; r < reps; ++r)
+        acc = kn.dot(acc * 1e-30f, a.data(), b.data(), n);
+    double secs = timer.seconds();
+    g_sink += acc;
+    return secs;
+}
+
+double
+timeAxpy(const KernelSet &kn, const std::vector<float> &x,
+         std::vector<float> &y, std::size_t reps)
+{
+    std::size_t n = x.size();
+    kn.axpy(1e-30f, x.data(), y.data(), n); // warm-up
+    WallTimer timer;
+    for (std::size_t r = 0; r < reps; ++r)
+        kn.axpy(1e-30f, x.data(), y.data(), n);
+    double secs = timer.seconds();
+    g_sink += y[0];
+    return secs;
+}
+
+double
+timeBucket(const KernelSet &kn, const std::vector<std::uint8_t> &irow,
+           const std::vector<float> &xt, std::vector<double> &bucket,
+           std::size_t k, std::size_t reps)
+{
+    std::size_t in = irow.size();
+    kn.bucketAccTile(irow.data(), in, xt.data(), bucket.data(), k);
+    WallTimer timer;
+    for (std::size_t r = 0; r < reps; ++r)
+        kn.bucketAccTile(irow.data(), in, xt.data(), bucket.data(), k);
+    double secs = timer.seconds();
+    g_sink += bucket[0];
+    return secs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 42;
+    std::size_t reps = 40000;
+    std::string out = "BENCH_kernels.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--seed" && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--fast") {
+            reps = 4000;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--seed N] [--fast] [--out PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::vector<const KernelSet *> tiers = {&genericKernels()};
+    if (const KernelSet *avx2 = avx2Kernels())
+        tiers.push_back(avx2);
+
+    // Dense kernels at a BERT-base-like width; the bucket kernel at the
+    // hidden size (one weight row against one activation tile).
+    constexpr std::size_t kDenseN = 4096;
+    constexpr std::size_t kIn = 3072;
+
+    Rng rng(seed);
+    std::vector<float> a(kDenseN), b(kDenseN), y(kDenseN);
+    rng.fillGaussian(a, 0.0, 1.0);
+    rng.fillGaussian(b, 0.0, 1.0);
+    rng.fillGaussian(y, 0.0, 1.0);
+    std::vector<float> xt(kIn * kSeqTile);
+    rng.fillGaussian(xt, 0.0, 1.0);
+
+    std::printf("Micro-benchmark: kernel throughput (%zu reps, tiers:",
+                reps);
+    for (const KernelSet *t : tiers)
+        std::printf(" %s", t->name);
+    std::printf(")\n\n");
+
+    std::vector<Result> results;
+    for (const KernelSet *t : tiers) {
+        const KernelSet &kn = *t;
+        {
+            double secs = timeDot(kn, a, b, reps);
+            double calls = static_cast<double>(reps);
+            // Streams both operand vectors; one mul + one add per
+            // element.
+            double bytes = calls * 2.0 * kDenseN * sizeof(float);
+            double flops = calls * 2.0 * kDenseN;
+            results.push_back({"dot", kn.name, 0, kDenseN,
+                               bytes / secs / 1e9, flops / secs / 1e9});
+        }
+        {
+            double secs = timeAxpy(kn, a, y, reps);
+            double calls = static_cast<double>(reps);
+            // Streams x, reads and writes y; one mul + one add per
+            // element.
+            double bytes = calls * 3.0 * kDenseN * sizeof(float);
+            double flops = calls * 2.0 * kDenseN;
+            results.push_back({"axpy", kn.name, 0, kDenseN,
+                               bytes / secs / 1e9, flops / secs / 1e9});
+        }
+        for (unsigned bits : {2u, 3u, 4u}) {
+            std::size_t k = std::size_t{1} << bits;
+            std::vector<std::uint8_t> irow(kIn);
+            Rng irng(seed * 97 + bits);
+            for (auto &v : irow)
+                v = static_cast<std::uint8_t>(
+                    irng.integer(0, static_cast<int>(k) - 1));
+            std::vector<double> bucket(k * kSeqTile);
+            double secs = timeBucket(kn, irow, xt, bucket, k,
+                                     reps / 4);
+            double calls = static_cast<double>(reps / 4);
+            // Streams the index row and the activation tile, plus the
+            // bucket working set (reads + writes, but it stays in L1).
+            double bytes =
+                calls * (kIn * (1.0 + kSeqTile * sizeof(float))
+                         + 2.0 * k * kSeqTile * sizeof(double));
+            // One double add per (index, lane).
+            double flops = calls * kIn * kSeqTile;
+            results.push_back({"bucket_acc_tile", kn.name, bits, kIn,
+                               bytes / secs / 1e9, flops / secs / 1e9});
+        }
+    }
+
+    ConsoleTable table(
+        {"Kernel", "Tier", "B", "N", "GB/s", "GFLOP/s"});
+    for (const auto &r : results)
+        table.addRow({r.kernel, r.tier,
+                      r.bits ? std::to_string(r.bits) : "-",
+                      std::to_string(r.n), ConsoleTable::num(r.gbPerSec, 2),
+                      ConsoleTable::num(r.gflopPerSec, 2)});
+    table.print(std::cout);
+
+    std::FILE *json = std::fopen(out.c_str(), "w");
+    if (json) {
+        std::fprintf(json,
+                     "{\n  \"bench\": \"micro_kernels\",\n"
+                     "  \"seq_tile\": %zu,\n  \"results\": [\n",
+                     kSeqTile);
+        for (std::size_t i = 0; i < results.size(); ++i)
+            std::fprintf(
+                json,
+                "    {\"kernel\": \"%s\", \"tier\": \"%s\","
+                " \"bits\": %u, \"n\": %zu, \"gb_per_sec\": %.3f,"
+                " \"gflop_per_sec\": %.3f}%s\n",
+                results[i].kernel.c_str(), results[i].tier.c_str(),
+                results[i].bits, results[i].n, results[i].gbPerSec,
+                results[i].gflopPerSec,
+                i + 1 < results.size() ? "," : "");
+        std::fprintf(json, "  ]\n}\n");
+        std::fclose(json);
+        std::printf("\nwrote %s\n", out.c_str());
+    }
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.hh"
 #include "model/footprint.hh"
 #include "nn/encoder.hh"
 #include "obs/observer.hh"
@@ -164,8 +165,33 @@ QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
             obs->metrics.add(lids.rowsDecoded, out);
     }
 
+    // Sequence-tiled execution: transpose the activations once per
+    // forward into kSeqTile-lane tiles ([tile][input][lane]), then run
+    // the three bucket phases with vertical SIMD across the lanes. Per
+    // lane the reduction order is exactly the historical scalar loop
+    // (ascending i, then c, then outlier index, all in double), so the
+    // tiled kernel — on every tier — is bit-identical to the original
+    // per-(s, o) loop. Only full tiles are transposed: a padded tail
+    // tile would spend kSeqTile lanes of kernel work on a few live
+    // rows (the pooler runs at seq == 1), so tail rows instead take
+    // the scalar per-lane path below, which applies the same reduction
+    // order one lane at a time.
+    const KernelSet &kn = resolveKernels(ctx.kernels);
+    std::size_t full_tiles = seq / kSeqTile;
+    std::size_t tail0 = full_tiles * kSeqTile;
+    std::vector<float> xt(full_tiles * in * kSeqTile);
+    for (std::size_t t = 0; t < full_tiles; ++t) {
+        std::size_t s0 = t * kSeqTile;
+        float *tile = xt.data() + t * in * kSeqTile;
+        for (std::size_t l = 0; l < kSeqTile; ++l) {
+            const float *xrow = x.row(s0 + l).data();
+            for (std::size_t i = 0; i < in; ++i)
+                tile[i * kSeqTile + l] = xrow[i];
+        }
+    }
+
     // Parallel over output-row blocks: each block reuses one bucket
-    // vector (the accelerator's per-lane accumulators) and counts its
+    // tile (the accelerator's per-lane accumulators) and counts its
     // own operations. y(s, o) is touched by exactly one block and its
     // bucket/table/correction order matches the serial loop, so
     // backends — and the two weight formats — are bit-identical; block
@@ -181,7 +207,8 @@ QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
     ctx.parallelFor(blocks, [&](std::size_t b) {
         std::size_t o0 = b * block;
         std::size_t o1 = std::min(o0 + block, out);
-        std::vector<double> bucket(k);
+        std::vector<double> bucket(k * kSeqTile);
+        double acc[kSeqTile];
         std::vector<std::uint8_t> row_scratch(packed ? in : 0);
         OpCounts local;
         for (std::size_t o = o0; o < o1; ++o) {
@@ -194,24 +221,49 @@ QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
             }
             std::uint32_t o_begin = outlierRowStart[o];
             std::uint32_t o_end = outlierRowStart[o + 1];
-            for (std::size_t s = 0; s < seq; ++s) {
-                const float *xrow = x.row(s).data();
+            double bias_o = bias(o);
+            for (std::size_t t = 0; t < full_tiles; ++t) {
+                const float *tile = xt.data() + t * in * kSeqTile;
+                std::size_t s0 = t * kSeqTile;
                 // Phase 1: additions only — steer activations into
                 // the per-centroid buckets (the accelerator's
-                // accumulators).
-                std::fill(bucket.begin(), bucket.end(), 0.0);
+                // accumulators), all lanes at once.
+                kn.bucketAccTile(irow, in, tile, bucket.data(), k);
+                // Phase 2: one multiply per centroid per lane.
+                kn.centroidDotTile(weights.centroids.data(), k,
+                                   bucket.data(), bias_o, acc);
+                // Phase 3: one correction MAC per outlier per lane.
+                kn.outlierTile(outliers.data() + o_begin,
+                               o_end - o_begin, tile, acc);
+                for (std::size_t l = 0; l < kSeqTile; ++l)
+                    y.row(s0 + l).data()[o] =
+                        static_cast<float>(acc[l]);
+                if (counts) {
+                    local.additions +=
+                        kSeqTile * (in + k + (o_end - o_begin));
+                    local.multiplications +=
+                        kSeqTile * (k + (o_end - o_begin));
+                }
+            }
+            // Tail rows (seq % kSeqTile): the same three phases, one
+            // lane at a time, straight off the untransposed rows. The
+            // per-lane reduction order matches the tile kernels
+            // exactly, so full-tile and tail outputs stay on one
+            // numeric contract.
+            for (std::size_t s = tail0; s < seq; ++s) {
+                const float *xrow = x.row(s).data();
+                double *b1 = bucket.data();
+                std::fill(b1, b1 + k, 0.0);
                 for (std::size_t i = 0; i < in; ++i)
-                    bucket[irow[i]] += xrow[i];
-                // Phase 2: one multiply per centroid.
-                double acc = bias(o);
+                    b1[irow[i]] += xrow[i];
+                double a = bias_o;
                 for (std::size_t c = 0; c < k; ++c)
-                    acc += static_cast<double>(weights.centroids[c])
-                           * bucket[c];
-                // Phase 3: one correction MAC per outlier in this row.
-                for (std::uint32_t oi = o_begin; oi < o_end; ++oi)
-                    acc += static_cast<double>(outliers[oi].correction)
-                           * xrow[outliers[oi].column];
-                y.row(s).data()[o] = static_cast<float>(acc);
+                    a += static_cast<double>(weights.centroids[c])
+                         * b1[c];
+                for (std::uint32_t ot = o_begin; ot < o_end; ++ot)
+                    a += static_cast<double>(outliers[ot].correction)
+                         * xrow[outliers[ot].column];
+                y.row(s).data()[o] = static_cast<float>(a);
                 if (counts) {
                     local.additions += in + k + (o_end - o_begin);
                     local.multiplications += k + (o_end - o_begin);
@@ -370,7 +422,7 @@ QuantizedBertModel::encode(const ExecContext &ctx,
         {
             ScopedSpan span(ctx.obs, "ffn");
             Tensor inter = enc.inter.forward(ctx, a);
-            geluInplace(inter);
+            geluInplace(ctx, inter);
             Tensor out = enc.out.forward(ctx, inter);
             y = add(a, out);
         }
@@ -402,8 +454,8 @@ QuantizedBertModel::classify(const ExecContext &ctx,
     auto src = hidden.row(0);
     std::copy(src.begin(), src.end(), first.row(0).begin());
     Tensor pooled = pooler.forward(ctx, first);
-    tanhInplace(pooled);
-    Tensor logits2d = linear(pooled, headW, headB);
+    tanhInplace(ctx, pooled);
+    Tensor logits2d = linear(ctx, pooled, headW, headB);
     Tensor logits(logits2d.cols());
     auto row = logits2d.row(0);
     std::copy(row.begin(), row.end(), logits.flat().begin());

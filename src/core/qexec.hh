@@ -28,6 +28,7 @@
 
 #include "core/quantizer.hh"
 #include "exec/context.hh"
+#include "kernels/kernels.hh"
 #include "model/model.hh"
 #include "tensor/tensor.hh"
 
@@ -75,12 +76,17 @@ class QuantizedLinear
                     std::string label = "qlinear");
 
     /**
-     * Forward pass via per-centroid accumulation. x is [seq, in].
-     * Parallelizes over output-row blocks on the context's backend;
-     * every y(s, o) keeps the serial bucket/table/correction order, so
-     * backends are bit-identical. When `counts` is non-null the
-     * operations actually performed are accumulated into it (each
-     * block counts locally, blocks are summed in index order).
+     * Forward pass via sequence-tiled per-centroid accumulation: the
+     * activations are transposed once into kSeqTile-lane tiles, each
+     * weight row is decoded once, and the bucket/table/correction
+     * phases run vertically across the lanes through the context's
+     * kernel tier. x is [seq, in]. Parallelizes over output-row blocks
+     * on the context's backend; every y(s, o) keeps the serial
+     * bucket/table/correction order (per lane, in double), so backends,
+     * weight formats, AND kernel tiers are all bit-identical here. When
+     * `counts` is non-null the operations actually performed are
+     * accumulated into it (each block counts locally, blocks are
+     * summed in index order).
      *
      * With an observer on the context, each call records one span
      * (named by `label`) plus qexec.* counters: rows decoded, weight
@@ -137,13 +143,12 @@ class QuantizedLinear
      * 8/B indexes each byte value contains, LSB-first.
      */
     std::vector<std::uint8_t> decodeLut;
-    /** One (column, correction) pair per outlier, grouped by row. */
-    struct OutlierRef
-    {
-        std::uint32_t column;
-        float correction; ///< w_outlier - centroid[index at that slot].
-    };
-    std::vector<OutlierRef> outliers;
+    /**
+     * One (column, correction) pair per outlier, grouped by row, in
+     * the kernel layer's layout (kernels/kernels.hh) so phase 3 can
+     * hand a row's slice straight to the outlier-correction kernel.
+     */
+    std::vector<OutlierTerm> outliers;
     std::vector<std::uint32_t> outlierRowStart; ///< rows+1 offsets.
 };
 

@@ -22,7 +22,8 @@
 
 namespace gobo {
 
-class Observer; // obs/observer.hh; contexts only carry the pointer.
+class Observer;   // obs/observer.hh; contexts only carry the pointer.
+struct KernelSet; // kernels/kernels.hh; contexts only carry the pointer.
 
 /** How compute loops execute. */
 enum class Backend
@@ -89,6 +90,15 @@ struct ExecContext
      * or scheduling, so attaching an observer cannot change results.
      */
     Observer *obs = nullptr;
+    /**
+     * Kernel tier compute loops dispatch through (kernels/kernels.hh).
+     * Null (the default) means the process-wide active tier — the best
+     * tier cpuid approves, or whatever GOBO_KERNEL pins. Tests and
+     * tools set it to compare tiers in one process; every op resolves
+     * it with resolveKernels() so serial sub-contexts inherit the
+     * caller's tier.
+     */
+    const KernelSet *kernels = nullptr;
 
     /** The serial context (the default). */
     static ExecContext

@@ -1,5 +1,6 @@
 #include "exec/session.hh"
 
+#include "kernels/kernels.hh"
 #include "nn/encoder.hh"
 #include "obs/observer.hh"
 #include "obs/probe.hh"
@@ -8,6 +9,19 @@
 namespace gobo {
 
 namespace {
+
+/**
+ * Bump exec.kernel.<tier> for the tier this context resolves to, so
+ * every metrics dump names the SIMD tier that produced its numbers
+ * (bench JSON refuses cross-tier diffs on this field).
+ */
+void
+recordKernelTier(const ExecContext &ctx)
+{
+    if (ctx.obs)
+        ctx.obs->metrics.add(
+            ctx.obs->kernelTierId(resolveKernels(ctx.kernels).name));
+}
 
 /**
  * RAII sequence accounting: tokens + sequence count on entry, latency
@@ -116,6 +130,7 @@ InferenceSession::encodeSequence(
 {
     SequenceProbe probe(ctx.obs, tokens.size());
     ScopedSpan span(ctx.obs, "session.encode");
+    recordKernelTier(ctx);
     return fp32 ? gobo::encodeSequence(ctx, *fp32, tokens)
                 : quantized->encode(ctx, tokens);
 }
@@ -125,13 +140,14 @@ InferenceSession::headLogits(std::span<const std::int32_t> tokens) const
 {
     SequenceProbe probe(ctx.obs, tokens.size());
     ScopedSpan span(ctx.obs, "session.headLogits");
+    recordKernelTier(ctx);
     Tensor logits;
     if (quantized) {
         logits = quantized->classify(ctx, tokens);
     } else {
         Tensor hidden = gobo::encodeSequence(ctx, *fp32, tokens);
-        Tensor pooled = pool(*fp32, hidden);
-        logits = gobo::headLogits(*fp32, pooled);
+        Tensor pooled = pool(ctx, *fp32, hidden);
+        logits = gobo::headLogits(ctx, *fp32, pooled);
     }
     // Both engines emit at the same point, so a Capture run on the
     // FP32 session pairs with a Compare run on the quantized one.
@@ -143,8 +159,9 @@ Tensor
 InferenceSession::spanLogits(std::span<const std::int32_t> tokens) const
 {
     fatalIf(!fp32, "spanLogits needs the FP32 engine");
+    recordKernelTier(ctx);
     Tensor hidden = gobo::encodeSequence(ctx, *fp32, tokens);
-    return gobo::spanLogits(*fp32, hidden);
+    return gobo::spanLogits(ctx, *fp32, hidden);
 }
 
 ExecContext
@@ -160,6 +177,7 @@ InferenceSession::innerContext(std::size_t batch_size) const
     if (ctx.isParallel() && batch_size >= ctx.threads) {
         ExecContext inner = ExecContext::serial();
         inner.obs = ctx.obs;
+        inner.kernels = ctx.kernels;
         return inner;
     }
     return ctx;
@@ -169,6 +187,7 @@ std::vector<Tensor>
 InferenceSession::encodeBatch(const TokenBatch &batch) const
 {
     BatchProbe probe(ctx.obs, "session.encodeBatch");
+    recordKernelTier(ctx);
     std::vector<Tensor> out(batch.size());
     ExecContext inner = innerContext(batch.size());
     ctx.parallelFor(batch.size(), [&](std::size_t i) {
@@ -184,6 +203,7 @@ std::vector<Tensor>
 InferenceSession::headLogitsBatch(const TokenBatch &batch) const
 {
     BatchProbe probe(ctx.obs, "session.headLogitsBatch");
+    recordKernelTier(ctx);
     std::vector<Tensor> out(batch.size());
     ExecContext inner = innerContext(batch.size());
     ctx.parallelFor(batch.size(), [&](std::size_t i) {
@@ -193,8 +213,8 @@ InferenceSession::headLogitsBatch(const TokenBatch &batch) const
             out[i] = quantized->classify(inner, batch[i]);
         } else {
             Tensor hidden = gobo::encodeSequence(inner, *fp32, batch[i]);
-            Tensor pooled = pool(*fp32, hidden);
-            out[i] = gobo::headLogits(*fp32, pooled);
+            Tensor pooled = pool(inner, *fp32, hidden);
+            out[i] = gobo::headLogits(inner, *fp32, pooled);
         }
     });
     return out;

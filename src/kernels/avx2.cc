@@ -1,0 +1,418 @@
+/**
+ * @file
+ * AVX2+FMA kernel tier.
+ *
+ * Dense kernels (dot/axpy) use 8-lane FMA with multiple accumulators,
+ * so float reductions reassociate relative to the generic tier —
+ * callers get tolerance-level equality, with NaN/Inf still propagating
+ * (no zero-skips, no flush-to-zero). The row ops vectorize exp/tanh
+ * with a Cephes-style polynomial whose special cases are blended back
+ * explicitly so NaN stays NaN and ±Inf behaves like the scalar libm
+ * path.
+ *
+ * The bucket-tile kernels are different: they keep the scalar loop's
+ * per-lane double arithmetic and order exactly (convert-then-add in
+ * phase 1, multiply-then-add — deliberately NOT fmadd — in phases 2/3),
+ * so the quantized FC output is bit-identical to the generic tier.
+ * Vertical SIMD across sequence lanes never reassociates a per-lane
+ * reduction.
+ *
+ * This file is compiled with -mavx2 -mfma on x86-64 builds only; on
+ * other targets (or compilers without AVX2) it degrades to a stub that
+ * reports the tier as unavailable.
+ */
+
+#include "kernels/kernels.hh"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <limits>
+
+namespace gobo {
+
+namespace {
+
+/** Horizontal sum of 8 float lanes. */
+inline float
+hsum(__m256 v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    lo = _mm_add_ps(lo, hi);
+    lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+    lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+    return _mm_cvtss_f32(lo);
+}
+
+/** Horizontal max of 8 float lanes. */
+inline float
+hmax(__m256 v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    lo = _mm_max_ps(lo, hi);
+    lo = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+    lo = _mm_max_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+    return _mm_cvtss_f32(lo);
+}
+
+/** Horizontal sum of 4 double lanes. */
+inline double
+hsumd(__m256d v)
+{
+    __m128d lo = _mm256_castpd256_pd128(v);
+    __m128d hi = _mm256_extractf128_pd(v, 1);
+    lo = _mm_add_pd(lo, hi);
+    lo = _mm_add_sd(lo, _mm_unpackhi_pd(lo, lo));
+    return _mm_cvtsd_f64(lo);
+}
+
+/**
+ * Vector expf (Cephes polynomial, ~1 ulp over the clamped range) with
+ * explicit special handling: NaN in -> the same NaN out, x > hi -> +Inf,
+ * x < lo -> 0. The clamp bounds are the float exp overflow/underflow
+ * edges, so finite inputs land in the polynomial's valid range.
+ */
+inline __m256
+exp256(__m256 x0)
+{
+    const __m256 hi = _mm256_set1_ps(88.3762626647950f);
+    const __m256 lo = _mm256_set1_ps(-88.3762626647949f);
+    // NaN note: max/min return the second operand on unordered
+    // compares, so a NaN lane comes out clamped-finite here and is
+    // blended back to NaN below.
+    __m256 x = _mm256_min_ps(_mm256_max_ps(x0, lo), hi);
+
+    const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+    __m256 fx = _mm256_floor_ps(_mm256_fmadd_ps(x, log2e,
+                                                _mm256_set1_ps(0.5f)));
+    // Cody-Waite: subtract fx * ln2 in two pieces to keep precision.
+    x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693359375f), x);
+    x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.12194440e-4f), x);
+
+    __m256 z = _mm256_mul_ps(x, x);
+    __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+    y = _mm256_fmadd_ps(y, z, _mm256_add_ps(x, _mm256_set1_ps(1.0f)));
+
+    // Scale by 2^fx through the exponent bits. fx is integral and in
+    // [-127, 128] after the clamp, so the shift cannot wrap.
+    __m256i n = _mm256_cvtps_epi32(fx);
+    n = _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)),
+                          23);
+    y = _mm256_mul_ps(y, _mm256_castsi256_ps(n));
+
+    y = _mm256_blendv_ps(y, x0,
+                         _mm256_cmp_ps(x0, x0, _CMP_UNORD_Q));
+    y = _mm256_blendv_ps(
+        y,
+        _mm256_set1_ps(std::numeric_limits<float>::infinity()),
+        _mm256_cmp_ps(x0, hi, _CMP_GT_OQ));
+    y = _mm256_blendv_ps(y, _mm256_setzero_ps(),
+                         _mm256_cmp_ps(x0, lo, _CMP_LT_OQ));
+    return y;
+}
+
+/**
+ * Vector tanh via exp(2x): (e-1)/(e+1), saturated to ±1 for |x| >= 10
+ * (tanh(10) rounds to 1.0f) — which also catches ±Inf before the
+ * Inf/Inf NaN. NaN falls through the formula and stays NaN.
+ */
+inline __m256
+tanh256(__m256 x)
+{
+    const __m256 one = _mm256_set1_ps(1.0f);
+    __m256 e = exp256(_mm256_add_ps(x, x));
+    __m256 t = _mm256_div_ps(_mm256_sub_ps(e, one),
+                             _mm256_add_ps(e, one));
+    __m256 sat = _mm256_cmp_ps(
+        _mm256_andnot_ps(_mm256_set1_ps(-0.0f), x),
+        _mm256_set1_ps(10.0f), _CMP_GE_OQ);
+    // Saturated sign: copy x's sign bit onto 1.0.
+    __m256 signed_one = _mm256_or_ps(
+        one, _mm256_and_ps(x, _mm256_set1_ps(-0.0f)));
+    return _mm256_blendv_ps(t, signed_one, sat);
+}
+
+float
+dotAvx2(float init, const float *a, const float *b, std::size_t n)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(b + i), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                               _mm256_loadu_ps(b + i + 8), acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                               _mm256_loadu_ps(b + i + 16), acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                               _mm256_loadu_ps(b + i + 24), acc3);
+    }
+    for (; i + 8 <= n; i += 8)
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(b + i), acc0);
+    acc0 = _mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                         _mm256_add_ps(acc2, acc3));
+    float acc = init + hsum(acc0);
+    for (; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+void
+axpyAvx2(float a, const float *x, float *y, std::size_t n)
+{
+    const __m256 va = _mm256_set1_ps(a);
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8)
+        _mm256_storeu_ps(y + j,
+                         _mm256_fmadd_ps(va, _mm256_loadu_ps(x + j),
+                                         _mm256_loadu_ps(y + j)));
+    for (; j < n; ++j)
+        y[j] += a * x[j];
+}
+
+void
+softmaxRowAvx2(float *row, std::size_t n)
+{
+    constexpr float ninf = -std::numeric_limits<float>::infinity();
+    __m256 mv = _mm256_set1_ps(ninf);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        mv = _mm256_max_ps(mv, _mm256_loadu_ps(row + i));
+    float mx = n >= 8 ? hmax(mv) : ninf;
+    for (; i < n; ++i)
+        mx = row[i] > mx ? row[i] : mx;
+    // A NaN lane slips past max (unordered compares are false both
+    // ways), but exp(NaN - mx) poisons the sum below, so the whole row
+    // still comes out NaN exactly like the scalar path.
+
+    const __m256 mxv = _mm256_set1_ps(mx);
+    __m256 sv = _mm256_setzero_ps();
+    for (i = 0; i + 8 <= n; i += 8) {
+        __m256 e = exp256(_mm256_sub_ps(_mm256_loadu_ps(row + i), mxv));
+        _mm256_storeu_ps(row + i, e);
+        sv = _mm256_add_ps(sv, e);
+    }
+    float sum = hsum(sv);
+    for (; i < n; ++i) {
+        row[i] = std::exp(row[i] - mx);
+        sum += row[i];
+    }
+
+    const __m256 sumv = _mm256_set1_ps(sum);
+    for (i = 0; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(row + i,
+                         _mm256_div_ps(_mm256_loadu_ps(row + i), sumv));
+    for (; i < n; ++i)
+        row[i] /= sum;
+}
+
+void
+layerNormRowAvx2(float *row, std::size_t n, const float *gamma,
+                 const float *beta, float eps)
+{
+    __m256d s0 = _mm256_setzero_pd();
+    __m256d s1 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256 v = _mm256_loadu_ps(row + i);
+        s0 = _mm256_add_pd(s0,
+                           _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+        s1 = _mm256_add_pd(s1,
+                           _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+    }
+    double mu = hsumd(_mm256_add_pd(s0, s1));
+    for (; i < n; ++i)
+        mu += row[i];
+    mu /= static_cast<double>(n);
+
+    const __m256d muv = _mm256_set1_pd(mu);
+    s0 = _mm256_setzero_pd();
+    s1 = _mm256_setzero_pd();
+    for (i = 0; i + 8 <= n; i += 8) {
+        __m256 v = _mm256_loadu_ps(row + i);
+        __m256d d0 = _mm256_sub_pd(
+            _mm256_cvtps_pd(_mm256_castps256_ps128(v)), muv);
+        __m256d d1 = _mm256_sub_pd(
+            _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)), muv);
+        s0 = _mm256_fmadd_pd(d0, d0, s0);
+        s1 = _mm256_fmadd_pd(d1, d1, s1);
+    }
+    double var = hsumd(_mm256_add_pd(s0, s1));
+    for (; i < n; ++i) {
+        double d = row[i] - mu;
+        var += d * d;
+    }
+    var /= static_cast<double>(n);
+    auto inv = static_cast<float>(1.0 / std::sqrt(var + eps));
+
+    const __m256 muf = _mm256_set1_ps(static_cast<float>(mu));
+    const __m256 invv = _mm256_set1_ps(inv);
+    for (i = 0; i + 8 <= n; i += 8) {
+        __m256 v = _mm256_sub_ps(_mm256_loadu_ps(row + i), muf);
+        v = _mm256_mul_ps(_mm256_mul_ps(v, invv),
+                          _mm256_loadu_ps(gamma + i));
+        _mm256_storeu_ps(row + i,
+                         _mm256_add_ps(v, _mm256_loadu_ps(beta + i)));
+    }
+    for (; i < n; ++i)
+        row[i] = (row[i] - static_cast<float>(mu)) * inv * gamma[i]
+                 + beta[i];
+}
+
+void
+geluRowAvx2(float *row, std::size_t n)
+{
+    const __m256 k = _mm256_set1_ps(0.7978845608028654f); // sqrt(2/pi)
+    const __m256 c = _mm256_set1_ps(0.044715f);
+    const __m256 half = _mm256_set1_ps(0.5f);
+    const __m256 one = _mm256_set1_ps(1.0f);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256 v = _mm256_loadu_ps(row + i);
+        __m256 v3 = _mm256_mul_ps(_mm256_mul_ps(v, v), v);
+        __m256 inner = _mm256_mul_ps(
+            k, _mm256_add_ps(v, _mm256_mul_ps(c, v3)));
+        __m256 t = _mm256_add_ps(one, tanh256(inner));
+        _mm256_storeu_ps(row + i,
+                         _mm256_mul_ps(_mm256_mul_ps(half, v), t));
+    }
+    for (; i < n; ++i) {
+        float v = row[i];
+        float inner = 0.7978845608028654f
+                      * (v + 0.044715f * v * v * v);
+        row[i] = 0.5f * v * (1.0f + std::tanh(inner));
+    }
+}
+
+void
+tanhRowAvx2(float *row, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(row + i, tanh256(_mm256_loadu_ps(row + i)));
+    for (; i < n; ++i)
+        row[i] = std::tanh(row[i]);
+}
+
+static_assert(kSeqTile == 8,
+              "the AVX2 bucket-tile kernels hard-code 8 lanes "
+              "(2 x 4 doubles)");
+
+void
+bucketAccTileAvx2(const std::uint8_t *irow, std::size_t in,
+                  const float *xT, double *bucket, std::size_t k)
+{
+    const __m256d zero = _mm256_setzero_pd();
+    for (std::size_t c = 0; c < k; ++c) {
+        _mm256_storeu_pd(bucket + c * kSeqTile, zero);
+        _mm256_storeu_pd(bucket + c * kSeqTile + 4, zero);
+    }
+    // Vertical adds only: lane l accumulates its activations in
+    // ascending-i order, exactly the scalar reduction, in double.
+    for (std::size_t i = 0; i < in; ++i) {
+        double *dst = bucket + std::size_t{irow[i]} * kSeqTile;
+        __m256 x = _mm256_loadu_ps(xT + i * kSeqTile);
+        __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(x));
+        __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(x, 1));
+        _mm256_storeu_pd(dst,
+                         _mm256_add_pd(_mm256_loadu_pd(dst), lo));
+        _mm256_storeu_pd(dst + 4,
+                         _mm256_add_pd(_mm256_loadu_pd(dst + 4), hi));
+    }
+}
+
+void
+centroidDotTileAvx2(const float *centroids, std::size_t k,
+                    const double *bucket, double bias, double *acc)
+{
+    __m256d a0 = _mm256_set1_pd(bias);
+    __m256d a1 = a0;
+    for (std::size_t c = 0; c < k; ++c) {
+        const __m256d cv =
+            _mm256_set1_pd(static_cast<double>(centroids[c]));
+        // mul then add, not fmadd: the scalar loop rounds the product
+        // before accumulating, and this tier promises bit-identity.
+        a0 = _mm256_add_pd(
+            a0, _mm256_mul_pd(cv,
+                              _mm256_loadu_pd(bucket + c * kSeqTile)));
+        a1 = _mm256_add_pd(
+            a1,
+            _mm256_mul_pd(cv,
+                          _mm256_loadu_pd(bucket + c * kSeqTile + 4)));
+    }
+    _mm256_storeu_pd(acc, a0);
+    _mm256_storeu_pd(acc + 4, a1);
+}
+
+void
+outlierTileAvx2(const OutlierTerm *terms, std::size_t count,
+                const float *xT, double *acc)
+{
+    __m256d a0 = _mm256_loadu_pd(acc);
+    __m256d a1 = _mm256_loadu_pd(acc + 4);
+    for (std::size_t t = 0; t < count; ++t) {
+        const __m256d cv =
+            _mm256_set1_pd(static_cast<double>(terms[t].correction));
+        __m256 x = _mm256_loadu_ps(
+            xT + std::size_t{terms[t].column} * kSeqTile);
+        a0 = _mm256_add_pd(
+            a0, _mm256_mul_pd(
+                    cv, _mm256_cvtps_pd(_mm256_castps256_ps128(x))));
+        a1 = _mm256_add_pd(
+            a1, _mm256_mul_pd(
+                    cv, _mm256_cvtps_pd(_mm256_extractf128_ps(x, 1))));
+    }
+    _mm256_storeu_pd(acc, a0);
+    _mm256_storeu_pd(acc + 4, a1);
+}
+
+} // namespace
+
+const KernelSet *
+avx2KernelsBuild()
+{
+    static const KernelSet set = {
+        "avx2",
+        /*reassociates=*/true,
+        dotAvx2,
+        axpyAvx2,
+        softmaxRowAvx2,
+        layerNormRowAvx2,
+        geluRowAvx2,
+        tanhRowAvx2,
+        bucketAccTileAvx2,
+        centroidDotTileAvx2,
+        outlierTileAvx2,
+    };
+    return &set;
+}
+
+} // namespace gobo
+
+#else // !(__AVX2__ && __FMA__)
+
+namespace gobo {
+
+/** Build-time stub: this target was compiled without AVX2+FMA. */
+const KernelSet *
+avx2KernelsBuild()
+{
+    return nullptr;
+}
+
+} // namespace gobo
+
+#endif

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Runtime kernel-tier selection: cpuid probe + GOBO_KERNEL override.
+ *
+ * The active tier is resolved once, on first use, from the best tier
+ * the CPU supports; GOBO_KERNEL=generic|avx2|native pins it (native is
+ * the cpuid choice, i.e. the default). Requesting a tier the CPU or
+ * the build cannot run is fatal rather than a silent downgrade — a CI
+ * leg that asks for avx2 must bench avx2 or fail loudly.
+ */
+
+#include "kernels/kernels.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace gobo {
+
+// Defined in avx2.cc: the AVX2 tier when that file was compiled with
+// AVX2+FMA enabled, nullptr otherwise.
+const KernelSet *avx2KernelsBuild();
+
+bool
+cpuSupportsAvx2()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2")
+           && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+const KernelSet *
+avx2Kernels()
+{
+    static const KernelSet *set =
+        cpuSupportsAvx2() ? avx2KernelsBuild() : nullptr;
+    return set;
+}
+
+const KernelSet &
+kernelsByName(std::string_view name)
+{
+    if (name == "generic")
+        return genericKernels();
+    if (name == "avx2") {
+        const KernelSet *avx2 = avx2Kernels();
+        fatalIf(avx2 == nullptr,
+                "kernel tier 'avx2' requested but this ",
+                avx2KernelsBuild() == nullptr ? "build" : "CPU",
+                " does not support AVX2+FMA");
+        return *avx2;
+    }
+    if (name == "native") {
+        const KernelSet *avx2 = avx2Kernels();
+        return avx2 ? *avx2 : genericKernels();
+    }
+    fatal("unknown kernel tier '", std::string(name),
+          "' (expected generic, avx2, or native)");
+}
+
+namespace {
+
+/**
+ * The startup choice: GOBO_KERNEL if set, otherwise the best tier
+ * cpuid reports. Stored as an atomic pointer so setActiveKernels()
+ * from tests/CLI flags is at least well-defined, even though swapping
+ * tiers mid-forward is not supported.
+ */
+std::atomic<const KernelSet *> &
+activeSlot()
+{
+    static std::atomic<const KernelSet *> slot = [] {
+        const char *env = std::getenv("GOBO_KERNEL");
+        return env && *env ? &kernelsByName(env)
+                           : &kernelsByName("native");
+    }();
+    return slot;
+}
+
+} // namespace
+
+const KernelSet &
+activeKernels()
+{
+    return *activeSlot().load(std::memory_order_acquire);
+}
+
+void
+setActiveKernels(const KernelSet &kernels)
+{
+    activeSlot().store(&kernels, std::memory_order_release);
+}
+
+} // namespace gobo

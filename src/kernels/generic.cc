@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Generic kernel tier: portable scalar loops.
+ *
+ * These bodies are the pre-SIMD inner loops of tensor/ops.cc and
+ * core/qexec.cc, lifted verbatim. They are the reference every other
+ * tier is validated against, and the repo's historical outputs are
+ * bit-identical to them — do not "optimize" a reduction order here.
+ */
+
+#include "kernels/kernels.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gobo {
+
+namespace {
+
+float
+dotGeneric(float init, const float *a, const float *b, std::size_t n)
+{
+    float acc = init;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+void
+axpyGeneric(float a, const float *x, float *y, std::size_t n)
+{
+    // No skip on a == 0: 0 * Inf and 0 * NaN must reach the
+    // accumulator (IEEE), or the result silently diverges from any
+    // reference dense matmul.
+    for (std::size_t j = 0; j < n; ++j)
+        y[j] += a * x[j];
+}
+
+void
+softmaxRowGeneric(float *row, std::size_t n)
+{
+    float mx = *std::max_element(row, row + n);
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+        row[i] = std::exp(row[i] - mx);
+        sum += row[i];
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        row[i] /= sum;
+}
+
+void
+layerNormRowGeneric(float *row, std::size_t n, const float *gamma,
+                    const float *beta, float eps)
+{
+    double mu = 0.0;
+    for (std::size_t c = 0; c < n; ++c)
+        mu += row[c];
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+        double d = row[c] - mu;
+        var += d * d;
+    }
+    var /= static_cast<double>(n);
+    auto inv = static_cast<float>(1.0 / std::sqrt(var + eps));
+    for (std::size_t c = 0; c < n; ++c)
+        row[c] = (row[c] - static_cast<float>(mu)) * inv * gamma[c]
+                 + beta[c];
+}
+
+void
+geluRowGeneric(float *row, std::size_t n)
+{
+    constexpr float k = 0.7978845608028654f; // sqrt(2/pi)
+    for (std::size_t i = 0; i < n; ++i) {
+        float v = row[i];
+        float inner = k * (v + 0.044715f * v * v * v);
+        row[i] = 0.5f * v * (1.0f + std::tanh(inner));
+    }
+}
+
+void
+tanhRowGeneric(float *row, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        row[i] = std::tanh(row[i]);
+}
+
+void
+bucketAccTileGeneric(const std::uint8_t *irow, std::size_t in,
+                     const float *xT, double *bucket, std::size_t k)
+{
+    std::fill(bucket, bucket + k * kSeqTile, 0.0);
+    for (std::size_t i = 0; i < in; ++i) {
+        double *dst = bucket + std::size_t{irow[i]} * kSeqTile;
+        const float *src = xT + i * kSeqTile;
+        for (std::size_t l = 0; l < kSeqTile; ++l)
+            dst[l] += src[l];
+    }
+}
+
+void
+centroidDotTileGeneric(const float *centroids, std::size_t k,
+                       const double *bucket, double bias, double *acc)
+{
+    for (std::size_t l = 0; l < kSeqTile; ++l)
+        acc[l] = bias;
+    for (std::size_t c = 0; c < k; ++c) {
+        auto cv = static_cast<double>(centroids[c]);
+        const double *brow = bucket + c * kSeqTile;
+        for (std::size_t l = 0; l < kSeqTile; ++l)
+            acc[l] += cv * brow[l];
+    }
+}
+
+void
+outlierTileGeneric(const OutlierTerm *terms, std::size_t count,
+                   const float *xT, double *acc)
+{
+    for (std::size_t t = 0; t < count; ++t) {
+        auto cv = static_cast<double>(terms[t].correction);
+        const float *src = xT + std::size_t{terms[t].column} * kSeqTile;
+        for (std::size_t l = 0; l < kSeqTile; ++l)
+            acc[l] += cv * src[l];
+    }
+}
+
+} // namespace
+
+const KernelSet &
+genericKernels()
+{
+    static const KernelSet set = {
+        "generic",
+        /*reassociates=*/false,
+        dotGeneric,
+        axpyGeneric,
+        softmaxRowGeneric,
+        layerNormRowGeneric,
+        geluRowGeneric,
+        tanhRowGeneric,
+        bucketAccTileGeneric,
+        centroidDotTileGeneric,
+        outlierTileGeneric,
+    };
+    return set;
+}
+
+} // namespace gobo

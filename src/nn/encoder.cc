@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/kernels.hh"
 #include "obs/observer.hh"
 #include "obs/probe.hh"
 #include "tensor/ops.hh"
@@ -10,7 +11,8 @@
 namespace gobo {
 
 Tensor
-embedTokens(const BertModel &model, std::span<const std::int32_t> token_ids)
+embedTokens(const ExecContext &ctx, const BertModel &model,
+            std::span<const std::int32_t> token_ids)
 {
     const auto &cfg = model.config();
     fatalIf(token_ids.empty(), "embedTokens on empty sequence");
@@ -28,8 +30,15 @@ embedTokens(const BertModel &model, std::span<const std::int32_t> token_ids)
         for (std::size_t c = 0; c < dst.size(); ++c)
             dst[c] = word[c] + posv[c];
     }
-    layerNormInplace(x, model.embLnGamma.flat(), model.embLnBeta.flat());
+    layerNormInplace(ctx, x, model.embLnGamma.flat(),
+                     model.embLnBeta.flat());
     return x;
+}
+
+Tensor
+embedTokens(const BertModel &model, std::span<const std::int32_t> token_ids)
+{
+    return embedTokens(ExecContext::serial(), model, token_ids);
 }
 
 Tensor
@@ -42,11 +51,14 @@ multiHeadAttention(const ExecContext &ectx, const Tensor &q,
     std::size_t dh = h / num_heads;
     float scale = 1.0f / std::sqrt(static_cast<float>(dh));
 
+    const KernelSet &kn = resolveKernels(ectx.kernels);
     Tensor ctx(seq, h);
     // Heads are independent: each owns the column slice
     // [head*dh, (head+1)*dh) of ctx and scores only itself, so
     // dispatching heads to the backend is race-free and order
-    // preserving per element.
+    // preserving per element. The score dot, the row softmax and the
+    // value accumulation (an axpy per attended token) all go through
+    // the caller's kernel tier so one forward never mixes tiers.
     ectx.parallelFor(num_heads, [&](std::size_t head) {
         Tensor scores(seq, seq);
         std::size_t off = head * dh;
@@ -55,22 +67,16 @@ multiHeadAttention(const ExecContext &ectx, const Tensor &q,
             float *srow = scores.row(i).data();
             for (std::size_t j = 0; j < seq; ++j) {
                 const float *kj = k.row(j).data() + off;
-                float acc = 0.0f;
-                for (std::size_t d = 0; d < dh; ++d)
-                    acc += qi[d] * kj[d];
-                srow[j] = acc * scale;
+                srow[j] = kn.dot(0.0f, qi, kj, dh) * scale;
             }
         }
-        softmaxRows(scores);
+        for (std::size_t i = 0; i < seq; ++i)
+            kn.softmaxRow(scores.row(i).data(), seq);
         for (std::size_t i = 0; i < seq; ++i) {
             const float *srow = scores.row(i).data();
             float *crow = ctx.row(i).data() + off;
-            for (std::size_t j = 0; j < seq; ++j) {
-                float s = srow[j];
-                const float *vj = v.row(j).data() + off;
-                for (std::size_t d = 0; d < dh; ++d)
-                    crow[d] += s * vj[d];
-            }
+            for (std::size_t j = 0; j < seq; ++j)
+                kn.axpy(srow[j], v.row(j).data() + off, crow, dh);
         }
     });
     return ctx;
@@ -110,7 +116,7 @@ encoderForward(const ExecContext &ectx, const EncoderWeights &enc,
         ScopedSpan span(ectx.obs, "ffn");
         // Intermediate component.
         Tensor inter = linear(ectx, x, enc.interW, enc.interB);
-        geluInplace(inter);
+        geluInplace(ectx, inter);
         // Output component.
         Tensor out = linear(ectx, inter, enc.outW, enc.outB);
         y = add(x, out);
@@ -137,7 +143,7 @@ encodeSequence(const ExecContext &ctx, const BertModel &model,
     Tensor x;
     {
         ScopedSpan span(ctx.obs, "embed");
-        x = embedTokens(model, token_ids);
+        x = embedTokens(ctx, model, token_ids);
     }
     probeActivation(ctx.obs, "embed", x);
     for (std::size_t e = 0; e < model.encoders.size(); ++e) {
@@ -161,22 +167,29 @@ encodeSequence(const BertModel &model,
 }
 
 Tensor
-pool(const BertModel &model, const Tensor &hidden)
+pool(const ExecContext &ctx, const BertModel &model, const Tensor &hidden)
 {
     fatalIf(hidden.rows() == 0, "pool on empty hidden state");
     Tensor first(1, hidden.cols());
     auto src = hidden.row(0);
     auto dst = first.row(0);
     std::copy(src.begin(), src.end(), dst.begin());
-    Tensor pooled = linear(first, model.poolerW, model.poolerB);
-    tanhInplace(pooled);
+    Tensor pooled = linear(ctx, first, model.poolerW, model.poolerB);
+    tanhInplace(ctx, pooled);
     return pooled;
 }
 
 Tensor
-headLogits(const BertModel &model, const Tensor &pooled)
+pool(const BertModel &model, const Tensor &hidden)
 {
-    Tensor logits2d = linear(pooled, model.headW, model.headB);
+    return pool(ExecContext::serial(), model, hidden);
+}
+
+Tensor
+headLogits(const ExecContext &ctx, const BertModel &model,
+           const Tensor &pooled)
+{
+    Tensor logits2d = linear(ctx, pooled, model.headW, model.headB);
     Tensor logits(logits2d.cols());
     auto src = logits2d.row(0);
     std::copy(src.begin(), src.end(), logits.flat().begin());
@@ -184,12 +197,25 @@ headLogits(const BertModel &model, const Tensor &pooled)
 }
 
 Tensor
-spanLogits(const BertModel &model, const Tensor &hidden)
+headLogits(const BertModel &model, const Tensor &pooled)
+{
+    return headLogits(ExecContext::serial(), model, pooled);
+}
+
+Tensor
+spanLogits(const ExecContext &ctx, const BertModel &model,
+           const Tensor &hidden)
 {
     fatalIf(model.headW.rows() != 2,
             "span head needs a [2, hidden] headW, got ",
             model.headW.rows(), " rows");
-    return linear(hidden, model.headW, model.headB);
+    return linear(ctx, hidden, model.headW, model.headB);
+}
+
+Tensor
+spanLogits(const BertModel &model, const Tensor &hidden)
+{
+    return spanLogits(ExecContext::serial(), model, hidden);
 }
 
 } // namespace gobo

@@ -34,6 +34,8 @@ namespace gobo {
  * embedding layer norm. Token ids must be < vocabSize and the sequence
  * no longer than maxPosition.
  */
+Tensor embedTokens(const ExecContext &ctx, const BertModel &model,
+                   std::span<const std::int32_t> token_ids);
 Tensor embedTokens(const BertModel &model,
                    std::span<const std::int32_t> token_ids);
 
@@ -66,15 +68,21 @@ Tensor encodeSequence(const BertModel &model,
                       std::span<const std::int32_t> token_ids);
 
 /** The BERT pooler: first token through a Linear + tanh. Returns [1,h]. */
+Tensor pool(const ExecContext &ctx, const BertModel &model,
+            const Tensor &hidden);
 Tensor pool(const BertModel &model, const Tensor &hidden);
 
 /** Task-head logits over the pooled vector. Returns [outputs]. */
+Tensor headLogits(const ExecContext &ctx, const BertModel &model,
+                  const Tensor &pooled);
 Tensor headLogits(const BertModel &model, const Tensor &pooled);
 
 /**
  * Span-extraction logits (SQuAD-like head): per-token start and end
  * scores. headW must be [2, hidden]; returns [seq, 2].
  */
+Tensor spanLogits(const ExecContext &ctx, const BertModel &model,
+                  const Tensor &hidden);
 Tensor spanLogits(const BertModel &model, const Tensor &hidden);
 
 } // namespace gobo

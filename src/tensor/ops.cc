@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.hh"
 #include "util/logging.hh"
 
 namespace gobo {
@@ -14,24 +15,18 @@ matmul(const ExecContext &ctx, const Tensor &a, const Tensor &b)
     fatalIf(a.cols() != b.rows(), "matmul shape mismatch: ", a.rows(), "x",
             a.cols(), " * ", b.rows(), "x", b.cols());
 
+    const KernelSet &kn = resolveKernels(ctx.kernels);
     std::size_t m = a.rows(), k = a.cols(), n = b.cols();
     Tensor c(m, n);
     // Row-blocked over C: each thread owns a contiguous block of
     // output rows, so the per-row ikj reduction order (the innermost
-    // loop walks contiguous rows of B and C) is the same on every
-    // backend.
+    // axpy walks contiguous rows of B and C) is the same on every
+    // backend. The axpy kernel never skips a zero aik: 0 * Inf and
+    // 0 * NaN must reach the accumulator (IEEE).
     ctx.parallelRows(m, [&](std::size_t r0, std::size_t r1) {
         for (std::size_t i = r0; i < r1; ++i) {
-            for (std::size_t kk = 0; kk < k; ++kk) {
-                // No skip on aik == 0: 0 * Inf and 0 * NaN must reach
-                // the accumulator (IEEE), or the result silently
-                // diverges from any reference dense matmul.
-                float aik = a(i, kk);
-                const float *brow = b.row(kk).data();
-                float *crow = c.row(i).data();
-                for (std::size_t j = 0; j < n; ++j)
-                    crow[j] += aik * brow[j];
-            }
+            for (std::size_t kk = 0; kk < k; ++kk)
+                kn.axpy(a(i, kk), b.row(kk).data(), c.row(i).data(), n);
         }
     });
     return c;
@@ -43,6 +38,29 @@ matmul(const Tensor &a, const Tensor &b)
     return matmul(ExecContext::serial(), a, b);
 }
 
+namespace {
+
+/**
+ * The one linear() loop body: y(s, o) = bias(o) + x[s] . w[o] for the
+ * given sequence/output-feature rectangle, through the context's dot
+ * kernel. Both parallel splits below call this with their block.
+ */
+void
+linearBlock(const KernelSet &kn, const Tensor &x, const Tensor &w,
+            const Tensor &bias, Tensor &y, std::size_t s0,
+            std::size_t s1, std::size_t o0, std::size_t o1)
+{
+    std::size_t in = x.cols();
+    for (std::size_t s = s0; s < s1; ++s) {
+        const float *xrow = x.row(s).data();
+        float *yrow = y.row(s).data();
+        for (std::size_t o = o0; o < o1; ++o)
+            yrow[o] = kn.dot(bias(o), xrow, w.row(o).data(), in);
+    }
+}
+
+} // namespace
+
 Tensor
 linear(const ExecContext &ctx, const Tensor &x, const Tensor &w,
        const Tensor &bias)
@@ -53,39 +71,20 @@ linear(const ExecContext &ctx, const Tensor &x, const Tensor &w,
     fatalIf(bias.size() != w.rows(), "linear bias size ", bias.size(),
             " != out features ", w.rows());
 
-    std::size_t seq = x.rows(), in = x.cols(), out = w.rows();
+    const KernelSet &kn = resolveKernels(ctx.kernels);
+    std::size_t seq = x.rows(), out = w.rows();
     Tensor y(seq, out);
     // [seq, out] output rows split by output feature when the sequence
     // is short (the pooler runs at seq == 1), by sequence otherwise;
-    // either way one thread computes a given y(s, o) with the serial
-    // dot-product order.
+    // either way one thread computes a given y(s, o) with the same
+    // dot-kernel reduction order.
     if (seq >= out || !ctx.isParallel()) {
         ctx.parallelRows(seq, [&](std::size_t s0, std::size_t s1) {
-            for (std::size_t s = s0; s < s1; ++s) {
-                const float *xrow = x.row(s).data();
-                float *yrow = y.row(s).data();
-                for (std::size_t o = 0; o < out; ++o) {
-                    const float *wrow = w.row(o).data();
-                    float acc = bias(o);
-                    for (std::size_t i = 0; i < in; ++i)
-                        acc += xrow[i] * wrow[i];
-                    yrow[o] = acc;
-                }
-            }
+            linearBlock(kn, x, w, bias, y, s0, s1, 0, out);
         });
     } else {
         ctx.parallelRows(out, [&](std::size_t o0, std::size_t o1) {
-            for (std::size_t s = 0; s < seq; ++s) {
-                const float *xrow = x.row(s).data();
-                float *yrow = y.row(s).data();
-                for (std::size_t o = o0; o < o1; ++o) {
-                    const float *wrow = w.row(o).data();
-                    float acc = bias(o);
-                    for (std::size_t i = 0; i < in; ++i)
-                        acc += xrow[i] * wrow[i];
-                    yrow[o] = acc;
-                }
-            }
+            linearBlock(kn, x, w, bias, y, 0, seq, o0, o1);
         });
     }
     return y;
@@ -114,18 +113,11 @@ void
 softmaxRows(const ExecContext &ctx, Tensor &x)
 {
     fatalIf(x.rank() != 2, "softmaxRows needs a rank-2 tensor");
+    const KernelSet &kn = resolveKernels(ctx.kernels);
+    std::size_t cols = x.cols();
     ctx.parallelRows(x.rows(), [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t r = r0; r < r1; ++r) {
-            auto row = x.row(r);
-            float mx = *std::max_element(row.begin(), row.end());
-            float sum = 0.0f;
-            for (auto &v : row) {
-                v = std::exp(v - mx);
-                sum += v;
-            }
-            for (auto &v : row)
-                v /= sum;
-        }
+        for (std::size_t r = r0; r < r1; ++r)
+            kn.softmaxRow(x.row(r).data(), cols);
     });
 }
 
@@ -136,20 +128,45 @@ softmaxRows(Tensor &x)
 }
 
 void
+geluInplace(const ExecContext &ctx, Tensor &x)
+{
+    const KernelSet &kn = resolveKernels(ctx.kernels);
+    if (x.rank() != 2) {
+        kn.geluRow(x.flat().data(), x.size());
+        return;
+    }
+    std::size_t cols = x.cols();
+    ctx.parallelRows(x.rows(), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r)
+            kn.geluRow(x.row(r).data(), cols);
+    });
+}
+
+void
 geluInplace(Tensor &x)
 {
-    constexpr float k = 0.7978845608028654f; // sqrt(2/pi)
-    for (auto &v : x.flat()) {
-        float inner = k * (v + 0.044715f * v * v * v);
-        v = 0.5f * v * (1.0f + std::tanh(inner));
+    geluInplace(ExecContext::serial(), x);
+}
+
+void
+tanhInplace(const ExecContext &ctx, Tensor &x)
+{
+    const KernelSet &kn = resolveKernels(ctx.kernels);
+    if (x.rank() != 2) {
+        kn.tanhRow(x.flat().data(), x.size());
+        return;
     }
+    std::size_t cols = x.cols();
+    ctx.parallelRows(x.rows(), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r)
+            kn.tanhRow(x.row(r).data(), cols);
+    });
 }
 
 void
 tanhInplace(Tensor &x)
 {
-    for (auto &v : x.flat())
-        v = std::tanh(v);
+    tanhInplace(ExecContext::serial(), x);
 }
 
 void
@@ -160,24 +177,12 @@ layerNormInplace(const ExecContext &ctx, Tensor &x,
     fatalIf(x.rank() != 2, "layerNormInplace needs a rank-2 tensor");
     fatalIf(gamma.size() != x.cols() || beta.size() != x.cols(),
             "layerNorm parameter size mismatch");
+    const KernelSet &kn = resolveKernels(ctx.kernels);
+    std::size_t cols = x.cols();
     ctx.parallelRows(x.rows(), [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t r = r0; r < r1; ++r) {
-            auto row = x.row(r);
-            double mu = 0.0;
-            for (float v : row)
-                mu += v;
-            mu /= static_cast<double>(row.size());
-            double var = 0.0;
-            for (float v : row) {
-                double d = v - mu;
-                var += d * d;
-            }
-            var /= static_cast<double>(row.size());
-            auto inv = static_cast<float>(1.0 / std::sqrt(var + eps));
-            for (std::size_t c = 0; c < row.size(); ++c)
-                row[c] = (row[c] - static_cast<float>(mu)) * inv
-                         * gamma[c] + beta[c];
-        }
+        for (std::size_t r = r0; r < r1; ++r)
+            kn.layerNormRow(x.row(r).data(), cols, gamma.data(),
+                            beta.data(), eps);
     });
 }
 

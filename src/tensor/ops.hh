@@ -3,13 +3,16 @@
  * Tensor operations used by the transformer forward pass.
  *
  * All operations are FP32. The hot ops (matmul, linear, softmaxRows,
- * layerNormInplace) take an ExecContext and split their row dimension
- * into blocks dispatched on the execution backend; the context-free
- * overloads run serially. Parallel and serial runs are bit-identical:
- * each output row is computed by exactly one thread with the same
- * reduction order as the serial loop. The matmul inner kernel is
- * written ikj so the compiler can vectorize the innermost contiguous
- * loop.
+ * layerNormInplace, geluInplace, tanhInplace) take an ExecContext and
+ * split their row dimension into blocks dispatched on the execution
+ * backend; the context-free overloads run serially. Parallel and
+ * serial runs are bit-identical: each output row is computed by
+ * exactly one thread with the same reduction order as the serial loop.
+ * Inner loops dispatch through the context's kernel tier
+ * (kernels/kernels.hh): matmul's ikj inner loop is the axpy kernel,
+ * linear is the fold-left dot kernel, and the row ops have per-row
+ * kernels — so outputs are bit-stable within a tier but differ at
+ * tolerance level between the generic and AVX2 tiers.
  */
 
 #ifndef GOBO_TENSOR_OPS_HH
@@ -42,10 +45,13 @@ Tensor add(const Tensor &a, const Tensor &b);
 void softmaxRows(const ExecContext &ctx, Tensor &x);
 void softmaxRows(Tensor &x);
 
-/** In-place elementwise GELU (tanh approximation, as in BERT). */
+/** In-place elementwise GELU (tanh approximation, as in BERT). The
+ * context overload parallelizes across rows like the other row ops. */
+void geluInplace(const ExecContext &ctx, Tensor &x);
 void geluInplace(Tensor &x);
 
 /** In-place elementwise tanh (the BERT pooler activation). */
+void tanhInplace(const ExecContext &ctx, Tensor &x);
 void tanhInplace(Tensor &x);
 
 /**

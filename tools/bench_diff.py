@@ -12,9 +12,16 @@ bench/baseline/BENCH_forward.json) on three axes:
   * per-span mean_us for spans present in both files — flags any span
     whose mean latency grew by more than `--span-tol` (default 2.0x).
 
+Both files must have been produced by the same SIMD kernel tier
+(`kernel_tier` in the JSON; files from before the field read as
+"unknown"): comparing a generic-tier baseline against an AVX2
+candidate measures the dispatcher, not a regression, so mismatched
+tiers are refused with exit status 2.
+
 Exit status: 0 when everything is within tolerance, 1 when any
-threshold is breached, 2 on malformed input. Intended for the
-non-blocking CI bench job, which prints the diff as an FYI.
+threshold is breached, 2 on malformed input or a kernel-tier
+mismatch. Intended for the non-blocking CI bench job, which prints
+the diff as an FYI.
 
 Usage: bench_diff.py BASELINE.json CANDIDATE.json
            [--span-tol X] [--resident-tol X] [--tps-tol X]
@@ -61,6 +68,16 @@ def main():
 
     base = load(args.baseline)
     cand = load(args.candidate)
+
+    base_tier = base.get("kernel_tier", "unknown")
+    cand_tier = cand.get("kernel_tier", "unknown")
+    if base_tier != cand_tier:
+        sys.exit(
+            f"bench_diff: kernel tier mismatch: baseline ran "
+            f"'{base_tier}', candidate ran '{cand_tier}' — re-run the "
+            f"candidate under GOBO_KERNEL={base_tier} (cross-tier "
+            f"throughput diffs measure the dispatcher, not a "
+            f"regression)")
     failures = []
 
     print(f"bench_diff: {args.baseline} -> {args.candidate}")

@@ -11,6 +11,7 @@
  *   gobo inspect   model.gobm | model.gobc
  *   gobo infer     model.gobm | model.gobc [--batch B] [--seq-len S]
  *                  [--threads N] [--backend serial|parallel]
+ *                  [--kernel generic|avx2|native]
  *                  [--engine fp32|qexec] [--format unpacked|packed]
  *                  [--seed N] [--trace OUT.json] [--metrics]
  *                  [--metrics-json OUT.json]
@@ -49,6 +50,7 @@
 #include "core/quantizer.hh"
 #include "exec/session.hh"
 #include "exec/threadpool.hh"
+#include "kernels/kernels.hh"
 #include "model/footprint.hh"
 #include "model/generate.hh"
 #include "model/serialize.hh"
@@ -82,8 +84,9 @@ usage(const char *msg = nullptr)
         "  gobo inspect   FILE\n"
         "  gobo infer     FILE [--batch B] [--seq-len S] [--threads N]\n"
         "                 [--backend serial|parallel]"
-        " [--engine fp32|qexec]\n"
-        "                 [--format unpacked|packed] [--seed N]\n"
+        " [--kernel generic|avx2|native]\n"
+        "                 [--engine fp32|qexec]"
+        " [--format unpacked|packed] [--seed N]\n"
         "                 [--trace OUT.json] [--metrics]"
         " [--metrics-json OUT.json]\n"
         "  gobo audit     FILE [--bits B] [--embedding-bits E]"
@@ -336,6 +339,15 @@ cmdInfer(const Args &args)
     else if (format != "unpacked")
         usage(("unknown format: " + format).c_str());
 
+    // SIMD kernel tier. Default: whatever the process resolved (cpuid
+    // best, or GOBO_KERNEL — so the env override must not be shadowed
+    // by pinning "native" here); an explicit flag pins this run's
+    // context, fatal on a tier the CPU cannot run.
+    const KernelSet &kernels = args.has("kernel")
+                                   ? kernelsByName(args.get("kernel", ""))
+                                   : activeKernels();
+    ctx.kernels = &kernels;
+
     auto batch_size = std::stoul(args.get("batch", "8"));
     auto seq_len = std::stoul(args.get("seq-len", "32"));
     auto seed = std::strtoull(args.get("seed", "42").c_str(), nullptr,
@@ -394,13 +406,13 @@ cmdInfer(const Args &args)
     }
 
     std::printf("%s engine (%s weights, %.1f KiB resident), %s backend"
-                " (%zu threads), batch %zu x %zu tokens\n",
+                " (%zu threads), %s kernels, batch %zu x %zu tokens\n",
                 engine.c_str(),
                 engine == "qexec" ? weightFormatName(ctx.weightFormat)
                                   : "fp32",
                 toKiB(session->residentWeightBytes()),
-                backendName(ctx.backend), ctx.threads, batch_size,
-                seq_len);
+                backendName(ctx.backend), ctx.threads, kernels.name,
+                batch_size, seq_len);
     WallTimer timer;
     auto logits = session->headLogitsBatch(batch);
     double secs = timer.seconds();
