@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.hh"
@@ -48,6 +49,36 @@ struct Result
     double tokensPerSec = 0.0;
     std::size_t residentBytes = 0;
 };
+
+/** One point of the thread-scaling curve (packed engine). */
+struct ScalingPoint
+{
+    std::size_t threads;
+    double tokensPerSec;
+    double speedupVsSerial;
+};
+
+/**
+ * Thread counts for the scaling sweep: powers of two from 1 up to
+ * max(4, cores), plus the exact core count when it is not a power of
+ * two. Counts above the machine's cores are still measured (the JSON
+ * stamps `cores` so bench_diff.py knows not to gate on them).
+ */
+std::vector<std::size_t>
+sweepThreadCounts(std::size_t cores)
+{
+    std::vector<std::size_t> counts;
+    std::size_t limit = std::max<std::size_t>(4, cores);
+    for (std::size_t t = 1; t <= limit; t *= 2)
+        counts.push_back(t);
+    if (cores > 1
+        && std::find(counts.begin(), counts.end(), cores)
+               == counts.end()) {
+        counts.push_back(cores);
+        std::sort(counts.begin(), counts.end());
+    }
+    return counts;
+}
 
 double
 timeBatches(const InferenceSession &session, const TokenBatch &batch,
@@ -146,6 +177,10 @@ main(int argc, char **argv)
         results.push_back({"fp32", "parallel", fp32_parallel});
     }
     std::size_t q_resident = 0, packed_resident = 0;
+    std::size_t cores = std::thread::hardware_concurrency();
+    if (cores == 0)
+        cores = 1;
+    std::vector<ScalingPoint> scaling;
     {
         InferenceSession s_q(QuantizedBertModel(model, qopt), serial);
         InferenceSession p_q(QuantizedBertModel(model, qopt), parallel);
@@ -176,6 +211,30 @@ main(int argc, char **argv)
             {"qpacked", "serial", pk_serial, packed_resident});
         results.push_back(
             {"qpacked", "parallel", pk_parallel, packed_resident});
+
+        // Thread-scaling curve on the packed engine: one session,
+        // re-contexted per width so weights stay resident and only the
+        // scheduling changes. Every width must reproduce the serial
+        // logits bit-for-bit (`b` above) — the curve is meaningless if
+        // the work differs.
+        for (std::size_t width : sweepThreadCounts(cores)) {
+            s_pk.setContext(width <= 1 ? serial
+                                       : ExecContext::parallel(width));
+            auto scaled = s_pk.headLogitsBatch(batch);
+            for (std::size_t i = 0; i < batch.size(); ++i)
+                for (std::size_t j = 0; j < b[i].size(); ++j)
+                    if (b[i](j) != scaled[i](j)) {
+                        std::fprintf(stderr,
+                                     "scaling mismatch at threads=%zu"
+                                     " [%zu][%zu]\n",
+                                     width, i, j);
+                        return 1;
+                    }
+            double tps = timeBatches(s_pk, batch, reps);
+            double base =
+                scaling.empty() ? tps : scaling[0].tokensPerSec;
+            scaling.push_back({width, tps, tps / base});
+        }
     }
     std::size_t fp32_resident = cfg.fcWeightParams() * sizeof(float);
     results[0].residentBytes = fp32_resident;
@@ -205,6 +264,16 @@ main(int argc, char **argv)
                 " threads\n",
                 speedup, threads);
 
+    std::printf("\nThread scaling, packed engine (%zu hardware"
+                " cores):\n",
+                cores);
+    ConsoleTable sc({"Threads", "Tokens/sec", "Speedup"});
+    for (const auto &p : scaling)
+        sc.addRow({std::to_string(p.threads),
+                   ConsoleTable::num(p.tokensPerSec, 0),
+                   ConsoleTable::num(p.speedupVsSerial, 2) + "x"});
+    sc.print(std::cout);
+
     // One traced batch through the packed parallel engine (qopt still
     // holds format=Packed from the block above). The span summary is
     // the per-layer time breakdown; timing above ran unobserved, so
@@ -232,9 +301,10 @@ main(int argc, char **argv)
         std::fprintf(json,
                      "{\n  \"bench\": \"micro_forward\",\n"
                      "  \"seq_len\": %zu,\n  \"batch\": %zu,\n"
-                     "  \"threads\": %zu,\n  \"kernel_tier\": \"%s\",\n"
+                     "  \"threads\": %zu,\n  \"cores\": %zu,\n"
+                     "  \"kernel_tier\": \"%s\",\n"
                      "  \"results\": [\n",
-                     seq_len, batch_size, threads, tier);
+                     seq_len, batch_size, threads, cores, tier);
         for (std::size_t i = 0; i < results.size(); ++i)
             std::fprintf(json,
                          "    {\"engine\": \"%s\", \"backend\": \"%s\","
@@ -245,6 +315,15 @@ main(int argc, char **argv)
                          results[i].tokensPerSec,
                          results[i].residentBytes,
                          i + 1 < results.size() ? "," : "");
+        std::fprintf(json, "  ],\n  \"scaling\": [\n");
+        for (std::size_t i = 0; i < scaling.size(); ++i)
+            std::fprintf(json,
+                         "    {\"threads\": %zu,"
+                         " \"tokens_per_sec\": %.1f,"
+                         " \"speedup_vs_serial\": %.3f}%s\n",
+                         scaling[i].threads, scaling[i].tokensPerSec,
+                         scaling[i].speedupVsSerial,
+                         i + 1 < scaling.size() ? "," : "");
         std::fprintf(json, "  ],\n  \"spans\": [\n");
         for (std::size_t i = 0; i < spans.size(); ++i)
             std::fprintf(json,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/scratch.hh"
 #include "kernels/kernels.hh"
 #include "model/footprint.hh"
 #include "nn/encoder.hh"
@@ -17,7 +18,7 @@ namespace gobo {
 QuantizedLinear::QuantizedLinear(QuantizedTensor w, Tensor b,
                                  WeightFormat format, std::string name)
     : weights(std::move(w)), bias(std::move(b)), fmt(format),
-      label(std::move(name))
+      label(std::move(name)), scratchId(nextScratchOwnerId())
 {
     weights.check();
     fatalIf(bias.size() != weights.rows, "QuantizedLinear bias size ",
@@ -190,93 +191,129 @@ QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
         }
     }
 
-    // Parallel over output-row blocks: each block reuses one bucket
-    // tile (the accelerator's per-lane accumulators) and counts its
-    // own operations. y(s, o) is touched by exactly one block and its
-    // bucket/table/correction order matches the serial loop, so
-    // backends — and the two weight formats — are bit-identical; block
-    // OpCounts are reduced in index order below. The weight row is the
-    // outer loop so a Packed layer decodes each row's indexes exactly
-    // once per forward, amortized over the whole sequence.
-    std::size_t blocks =
-        ctx.isParallel() ? std::min(out, ctx.threads * 4) : 1;
-    std::size_t block = (out + blocks - 1) / blocks;
-    std::vector<OpCounts> block_counts(counts ? blocks : 0);
+    // 2-D output-row × sequence-tile partitioning. Row blocks split
+    // the output dimension first (each keeps the row-outer decode
+    // amortization); when there are too few rows to feed every thread
+    // — small layers, or a deep sweep at high thread counts — the
+    // sequence-tile dimension splits too, so the grid always carries
+    // roughly threads*4 stealable tasks. The tail rows (seq % tile)
+    // count as one extra tile unit. Every y(s, o) belongs to exactly
+    // one (row block, tile block) cell, and each cell runs the serial
+    // bucket/table/correction order per (o, tile), so the partition —
+    // and the thread count — cannot change a bit of the output. Task
+    // OpCounts are reduced in index order below.
+    //
+    // Scratch comes from the calling thread's arena (exec/scratch.hh):
+    // the bucket accumulator tile is plain reusable storage, and for
+    // Packed layers the whole row block is decoded into the arena's
+    // single-slot cache, so consecutive tile-block tasks of one row
+    // block (the common result of stealing a contiguous chunk) decode
+    // it only once. Nothing on this path allocates after warm-up.
     bool packed = fmt == WeightFormat::Packed;
+    std::size_t tile_units = full_tiles + (tail0 < seq ? 1 : 0);
+    std::size_t target = ctx.isParallel() ? ctx.threads * 4 : 1;
+    std::size_t rblocks = std::min(out, target);
+    std::size_t tblocks = 1;
+    if (rblocks < target && tile_units > 1)
+        tblocks =
+            std::min(tile_units, (target + rblocks - 1) / rblocks);
+    std::size_t n_tasks = rblocks * tblocks;
+    std::size_t rblock = (out + rblocks - 1) / rblocks;
+    std::size_t tblock = (tile_units + tblocks - 1) / tblocks;
+    std::vector<OpCounts> task_counts(counts ? n_tasks : 0);
+    // Grain hint: bucket accumulation is in adds + k table ops per
+    // (o, s) pair, split evenly across the grid.
+    std::size_t task_cost = seq * (in + k) * out / n_tasks + 1;
 
-    ctx.parallelFor(blocks, [&](std::size_t b) {
-        std::size_t o0 = b * block;
-        std::size_t o1 = std::min(o0 + block, out);
-        std::vector<double> bucket(k * kSeqTile);
+    ctx.parallelFor(n_tasks, task_cost, [&](std::size_t task) {
+        std::size_t rb = task / tblocks, tb = task % tblocks;
+        std::size_t o0 = rb * rblock;
+        std::size_t o1 = std::min(o0 + rblock, out);
+        std::size_t u0 = tb * tblock;
+        std::size_t u1 = std::min(u0 + tblock, tile_units);
+        if (o0 >= o1 || u0 >= u1)
+            return;
+        ScratchArena &arena = execScratch();
+        const std::uint8_t *rows = nullptr;
+        if (packed)
+            rows = arena.decodedRows(
+                scratchId, rb, o0, o1, in,
+                [](const void *self, std::size_t row,
+                   std::uint8_t *dst) {
+                    static_cast<const QuantizedLinear *>(self)
+                        ->decodeRow(row, dst);
+                },
+                this);
+        double *bucket = arena.buckets(k * kSeqTile);
         double acc[kSeqTile];
-        std::vector<std::uint8_t> row_scratch(packed ? in : 0);
         OpCounts local;
         for (std::size_t o = o0; o < o1; ++o) {
-            const std::uint8_t *irow;
-            if (packed) {
-                decodeRow(o, row_scratch.data());
-                irow = row_scratch.data();
-            } else {
-                irow = indexes.data() + o * in;
-            }
+            const std::uint8_t *irow = packed
+                                           ? rows + (o - o0) * in
+                                           : indexes.data() + o * in;
             std::uint32_t o_begin = outlierRowStart[o];
             std::uint32_t o_end = outlierRowStart[o + 1];
             double bias_o = bias(o);
-            for (std::size_t t = 0; t < full_tiles; ++t) {
-                const float *tile = xt.data() + t * in * kSeqTile;
-                std::size_t s0 = t * kSeqTile;
-                // Phase 1: additions only — steer activations into
-                // the per-centroid buckets (the accelerator's
-                // accumulators), all lanes at once.
-                kn.bucketAccTile(irow, in, tile, bucket.data(), k);
-                // Phase 2: one multiply per centroid per lane.
-                kn.centroidDotTile(weights.centroids.data(), k,
-                                   bucket.data(), bias_o, acc);
-                // Phase 3: one correction MAC per outlier per lane.
-                kn.outlierTile(outliers.data() + o_begin,
-                               o_end - o_begin, tile, acc);
-                for (std::size_t l = 0; l < kSeqTile; ++l)
-                    y.row(s0 + l).data()[o] =
-                        static_cast<float>(acc[l]);
-                if (counts) {
-                    local.additions +=
-                        kSeqTile * (in + k + (o_end - o_begin));
-                    local.multiplications +=
-                        kSeqTile * (k + (o_end - o_begin));
+            for (std::size_t u = u0; u < u1; ++u) {
+                if (u < full_tiles) {
+                    const float *tile = xt.data() + u * in * kSeqTile;
+                    std::size_t s0 = u * kSeqTile;
+                    // Phase 1: additions only — steer activations
+                    // into the per-centroid buckets (the
+                    // accelerator's accumulators), all lanes at once.
+                    kn.bucketAccTile(irow, in, tile, bucket, k);
+                    // Phase 2: one multiply per centroid per lane.
+                    kn.centroidDotTile(weights.centroids.data(), k,
+                                       bucket, bias_o, acc);
+                    // Phase 3: one correction MAC per outlier per
+                    // lane.
+                    kn.outlierTile(outliers.data() + o_begin,
+                                   o_end - o_begin, tile, acc);
+                    for (std::size_t l = 0; l < kSeqTile; ++l)
+                        y.row(s0 + l).data()[o] =
+                            static_cast<float>(acc[l]);
+                    if (counts) {
+                        local.additions +=
+                            kSeqTile * (in + k + (o_end - o_begin));
+                        local.multiplications +=
+                            kSeqTile * (k + (o_end - o_begin));
+                    }
+                    continue;
                 }
-            }
-            // Tail rows (seq % kSeqTile): the same three phases, one
-            // lane at a time, straight off the untransposed rows. The
-            // per-lane reduction order matches the tile kernels
-            // exactly, so full-tile and tail outputs stay on one
-            // numeric contract.
-            for (std::size_t s = tail0; s < seq; ++s) {
-                const float *xrow = x.row(s).data();
-                double *b1 = bucket.data();
-                std::fill(b1, b1 + k, 0.0);
-                for (std::size_t i = 0; i < in; ++i)
-                    b1[irow[i]] += xrow[i];
-                double a = bias_o;
-                for (std::size_t c = 0; c < k; ++c)
-                    a += static_cast<double>(weights.centroids[c])
-                         * b1[c];
-                for (std::uint32_t ot = o_begin; ot < o_end; ++ot)
-                    a += static_cast<double>(outliers[ot].correction)
-                         * xrow[outliers[ot].column];
-                y.row(s).data()[o] = static_cast<float>(a);
-                if (counts) {
-                    local.additions += in + k + (o_end - o_begin);
-                    local.multiplications += k + (o_end - o_begin);
+                // Tail rows (seq % kSeqTile): the same three phases,
+                // one lane at a time, straight off the untransposed
+                // rows. The per-lane reduction order matches the tile
+                // kernels exactly, so full-tile and tail outputs stay
+                // on one numeric contract.
+                for (std::size_t s = tail0; s < seq; ++s) {
+                    const float *xrow = x.row(s).data();
+                    std::fill(bucket, bucket + k, 0.0);
+                    for (std::size_t i = 0; i < in; ++i)
+                        bucket[irow[i]] += xrow[i];
+                    double a = bias_o;
+                    for (std::size_t c = 0; c < k; ++c)
+                        a += static_cast<double>(weights.centroids[c])
+                             * bucket[c];
+                    for (std::uint32_t ot = o_begin; ot < o_end; ++ot)
+                        a += static_cast<double>(
+                                 outliers[ot].correction)
+                             * xrow[outliers[ot].column];
+                    y.row(s).data()[o] = static_cast<float>(a);
+                    if (counts) {
+                        local.additions += in + k + (o_end - o_begin);
+                        local.multiplications +=
+                            k + (o_end - o_begin);
+                    }
                 }
             }
         }
         if (counts)
-            block_counts[b] = local;
+            task_counts[task] = local;
     });
 
     if (counts)
-        for (const auto &bc : block_counts)
-            *counts += bc;
+        for (const auto &tc : task_counts)
+            *counts += tc;
     return y;
 }
 

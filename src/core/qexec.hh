@@ -80,13 +80,18 @@ class QuantizedLinear
      * activations are transposed once into kSeqTile-lane tiles, each
      * weight row is decoded once, and the bucket/table/correction
      * phases run vertically across the lanes through the context's
-     * kernel tier. x is [seq, in]. Parallelizes over output-row blocks
-     * on the context's backend; every y(s, o) keeps the serial
+     * kernel tier. x is [seq, in]. Parallelizes over a 2-D
+     * output-row-block × sequence-tile-block grid on the context's
+     * backend, with per-worker scratch arenas (exec/scratch.hh)
+     * holding the bucket accumulators and decoded packed rows — the
+     * hot path never allocates, and a worker that owns several tile
+     * blocks of one row block decodes that block once. Every y(s, o)
+     * is produced by exactly one grid cell and keeps the serial
      * bucket/table/correction order (per lane, in double), so backends,
-     * weight formats, AND kernel tiers are all bit-identical here. When
-     * `counts` is non-null the operations actually performed are
-     * accumulated into it (each block counts locally, blocks are
-     * summed in index order).
+     * weight formats, kernel tiers AND thread counts are all
+     * bit-identical here. When `counts` is non-null the operations
+     * actually performed are accumulated into it (each task counts
+     * locally, tasks are summed in index order).
      *
      * With an observer on the context, each call records one span
      * (named by `label`) plus qexec.* counters: rows decoded, weight
@@ -136,6 +141,10 @@ class QuantizedLinear
     Tensor bias;
     WeightFormat fmt;
     std::string label;
+    /** Process-unique tag for this layer's rows in the scratch-arena
+     * decode cache (exec/scratch.hh); never a pointer, so a layer
+     * reusing a freed layer's address cannot alias its cache. */
+    std::uint64_t scratchId;
     /** Unpacked per-weight centroid indexes, row-major (Unpacked only). */
     std::vector<std::uint8_t> indexes;
     /**

@@ -100,6 +100,25 @@ struct ExecContext
      */
     const KernelSet *kernels = nullptr;
 
+    /**
+     * Minimum estimated flops a loop must carry before it is worth
+     * waking workers: below this, wake/sync latency dominates the
+     * compute (the committed baseline showed fp32 *losing* throughput
+     * in parallel on small matmuls). Loops submitted through the
+     * cost-hinted parallelFor/parallelRows overloads with a total
+     * estimate under the grain run inline on the pool's serial path,
+     * so they show up in PoolTelemetry::inlineRuns.
+     */
+    static constexpr std::size_t kMinParallelFlops =
+        std::size_t{1} << 18;
+
+    /**
+     * Per-context grain override for the cost-hinted overloads; 0 (the
+     * default) means kMinParallelFlops. Tests lower it to force tiny
+     * loops onto the pool, benches may raise it on slow-wake machines.
+     */
+    std::size_t grainFlops = 0;
+
     /** The serial context (the default). */
     static ExecContext
     serial()
@@ -145,6 +164,30 @@ struct ExecContext
     }
 
     /**
+     * Cost-hinted parallelFor: `costPerItem` is the caller's estimate
+     * of flops (or equivalent work) per index. When the whole loop is
+     * under the grain it is routed through the pool's inline path —
+     * still counted, never parallelized — so small ops stop paying
+     * wake/sync overhead.
+     */
+    void
+    parallelFor(std::size_t count, std::size_t costPerItem,
+                const std::function<void(std::size_t)> &fn) const
+    {
+        if (!isParallel() || count <= 1) {
+            for (std::size_t i = 0; i < count; ++i)
+                fn(i);
+            return;
+        }
+        std::size_t grain =
+            grainFlops != 0 ? grainFlops : kMinParallelFlops;
+        std::size_t threads_eff =
+            count * costPerItem < grain ? 1 : threads;
+        (pool ? *pool : ThreadPool::shared())
+            .run(count, threads_eff, fn);
+    }
+
+    /**
      * Run fn(begin, end) over contiguous blocks of [0, rows). Blocks
      * are sized so each participating thread gets a handful, bounding
      * scheduling overhead while keeping the tail balanced; the block
@@ -169,6 +212,32 @@ struct ExecContext
             if (begin < end)
                 fn(begin, end);
         });
+    }
+
+    /**
+     * Cost-hinted parallelRows: `costPerRow` estimates flops per row.
+     * Under-grain loops run as a single inline block on the pool's
+     * serial path (counted in inlineRuns); everything else behaves
+     * like parallelRows above.
+     */
+    void
+    parallelRows(std::size_t rows, std::size_t costPerRow,
+                 const std::function<void(std::size_t, std::size_t)>
+                     &fn) const
+    {
+        if (!isParallel() || rows <= 1) {
+            if (rows > 0)
+                fn(0, rows);
+            return;
+        }
+        std::size_t grain =
+            grainFlops != 0 ? grainFlops : kMinParallelFlops;
+        if (rows * costPerRow < grain) {
+            (pool ? *pool : ThreadPool::shared())
+                .run(1, 1, [&](std::size_t) { fn(0, rows); });
+            return;
+        }
+        parallelRows(rows, fn);
     }
 };
 

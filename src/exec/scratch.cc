@@ -1,0 +1,103 @@
+#include "exec/scratch.hh"
+
+#include <mutex>
+
+namespace gobo {
+
+namespace {
+
+/**
+ * Registry of live arenas so scratchStats() can aggregate. Arenas are
+ * thread_local and die at thread exit, so membership churns; the
+ * mutex only guards the vector, never the hot path (arena methods
+ * don't touch it).
+ */
+std::mutex registry_mutex;
+std::vector<const ScratchArena *> registry;
+
+} // namespace
+
+ScratchArena::ScratchArena()
+{
+    std::lock_guard lock(registry_mutex);
+    registry.push_back(this);
+}
+
+ScratchArena::~ScratchArena()
+{
+    std::lock_guard lock(registry_mutex);
+    std::erase(registry, this);
+}
+
+double *
+ScratchArena::buckets(std::size_t n)
+{
+    if (bucketBuf.size() < n) {
+        bucketBuf.resize(n);
+        reserved.store(bucketBuf.capacity() * sizeof(double)
+                           + rowBuf.capacity(),
+                       std::memory_order_relaxed);
+    }
+    return bucketBuf.data();
+}
+
+const std::uint8_t *
+ScratchArena::decodedRows(std::uint64_t ownerId, std::size_t block,
+                          std::size_t row0, std::size_t row1,
+                          std::size_t cols, RowDecodeFn decode,
+                          const void *ctx)
+{
+    std::size_t rows = row1 - row0;
+    if (tagOwner == ownerId && tagBlock == block && tagRow0 == row0
+        && tagRow1 == row1 && tagCols == cols) {
+        rowHits.fetch_add(rows, std::memory_order_relaxed);
+        return rowBuf.data();
+    }
+    if (rowBuf.size() < rows * cols) {
+        rowBuf.resize(rows * cols);
+        reserved.store(bucketBuf.capacity() * sizeof(double)
+                           + rowBuf.capacity(),
+                       std::memory_order_relaxed);
+    }
+    for (std::size_t r = 0; r < rows; ++r)
+        decode(ctx, row0 + r, rowBuf.data() + r * cols);
+    rowMisses.fetch_add(rows, std::memory_order_relaxed);
+    tagOwner = ownerId;
+    tagBlock = block;
+    tagRow0 = row0;
+    tagRow1 = row1;
+    tagCols = cols;
+    return rowBuf.data();
+}
+
+ScratchArena &
+execScratch()
+{
+    thread_local ScratchArena arena;
+    return arena;
+}
+
+ScratchStats
+scratchStats()
+{
+    ScratchStats s;
+    std::lock_guard lock(registry_mutex);
+    for (const ScratchArena *a : registry) {
+        ++s.arenas;
+        s.bytesReserved += a->reserved.load(std::memory_order_relaxed);
+        s.decodeRowHits +=
+            a->rowHits.load(std::memory_order_relaxed);
+        s.decodeRowMisses +=
+            a->rowMisses.load(std::memory_order_relaxed);
+    }
+    return s;
+}
+
+std::uint64_t
+nextScratchOwnerId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace gobo

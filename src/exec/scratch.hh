@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Per-worker scratch arenas for the compressed-domain hot path.
+ *
+ * The bucket kernels need two kinds of transient storage per task: the
+ * per-centroid accumulator tile and, for Packed layers, the decoded
+ * byte-per-weight index rows. Allocating either inside the parallel
+ * loop puts malloc on the hot path and (worse) re-decodes a packed row
+ * for every sequence tile that touches it. A ScratchArena is owned by
+ * exactly one thread (the accessor is thread_local, and the pool's
+ * workers are persistent, so in practice arenas are keyed by worker
+ * slot): buffers grow monotonically and are reused across tasks,
+ * layers, and forwards without synchronization.
+ *
+ * Ownership rule: a pointer obtained from the arena is valid until the
+ * *same thread* asks the arena for anything else — tasks must finish
+ * with their scratch before returning to the pool, and must not ask
+ * for scratch on behalf of another thread. Nothing in the arena is
+ * ever shared across threads, which is also why it cannot affect
+ * determinism: scratch holds decoded indexes (a pure function of the
+ * weights) and kernel accumulators that every task overwrites before
+ * reading.
+ *
+ * The decoded-row cache is a single slot tagged by (owner id, row
+ * block, row range): a worker that executes several sequence-tile
+ * tasks of the same output-row block in a row decodes that block once.
+ * Owners are identified by a process-unique id (never a pointer, which
+ * could be reused after a layer is destroyed).
+ */
+
+#ifndef GOBO_EXEC_SCRATCH_HH
+#define GOBO_EXEC_SCRATCH_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gobo {
+
+/** Aggregate scratch counters across every live arena (see
+ * scratchStats()). Decode hits/misses are counted in rows. */
+struct ScratchStats
+{
+    std::uint64_t arenas = 0;       ///< threads that touched scratch.
+    std::uint64_t bytesReserved = 0; ///< sum of buffer capacities.
+    std::uint64_t decodeRowHits = 0; ///< rows served from the cache.
+    std::uint64_t decodeRowMisses = 0; ///< rows actually decoded.
+};
+
+/** One thread's grow-only scratch buffers. Not thread-safe by design;
+ * reach it through execScratch() only. */
+class ScratchArena
+{
+  public:
+    ScratchArena();
+    ~ScratchArena();
+    ScratchArena(const ScratchArena &) = delete;
+    ScratchArena &operator=(const ScratchArena &) = delete;
+
+    /** Decode callback: write row `row`'s indexes (one byte each) to
+     * `out`. `ctx` is the owner object the caller captured. */
+    using RowDecodeFn = void (*)(const void *ctx, std::size_t row,
+                                 std::uint8_t *out);
+
+    /** A zeroable double buffer of at least `n` elements (the kernels
+     * zero-fill it themselves). Invalidated by the next arena call. */
+    double *buckets(std::size_t n);
+
+    /**
+     * Decoded indexes for rows [row0, row1) of owner `ownerId`, one
+     * byte per weight, `cols` per row, consecutive rows `cols` apart.
+     * Served from the single-slot cache when the tag (ownerId, block,
+     * row0, row1) matches the previous call on this thread; otherwise
+     * decode(ctx, row, dst) is invoked once per row. Invalidated by
+     * the next decodedRows() call (buckets() leaves it intact).
+     */
+    const std::uint8_t *decodedRows(std::uint64_t ownerId,
+                                    std::size_t block, std::size_t row0,
+                                    std::size_t row1, std::size_t cols,
+                                    RowDecodeFn decode, const void *ctx);
+
+  private:
+    friend ScratchStats scratchStats();
+
+    std::vector<double> bucketBuf;
+    std::vector<std::uint8_t> rowBuf;
+
+    // Cache tag for rowBuf's contents; ~0 means empty.
+    std::uint64_t tagOwner = ~std::uint64_t{0};
+    std::size_t tagBlock = 0, tagRow0 = 0, tagRow1 = 0, tagCols = 0;
+
+    // Relaxed atomics: bumped only by the owning thread, read by
+    // scratchStats() from anywhere.
+    std::atomic<std::uint64_t> rowHits{0};
+    std::atomic<std::uint64_t> rowMisses{0};
+    std::atomic<std::size_t> reserved{0};
+};
+
+/** The calling thread's arena (created on first use, lives until the
+ * thread exits). */
+ScratchArena &execScratch();
+
+/** Snapshot of every live arena's counters, for telemetry export. */
+ScratchStats scratchStats();
+
+/** A process-unique id for tagging decoded rows in the arenas. Taken
+ * once per owner (e.g. per QuantizedLinear) at construction. */
+std::uint64_t nextScratchOwnerId();
+
+} // namespace gobo
+
+#endif // GOBO_EXEC_SCRATCH_HH

@@ -165,21 +165,18 @@ InferenceSession::spanLogits(std::span<const std::int32_t> tokens) const
 }
 
 ExecContext
-InferenceSession::innerContext(std::size_t batch_size) const
+InferenceSession::innerContext() const
 {
-    // Once the batch dimension can keep every thread busy, per-
-    // sequence forwards run serially inside their slot; a nested
-    // parallel dispatch would only add scheduling overhead (the pool
-    // runs reentrant submissions inline anyway). Either composition
-    // is bit-identical, so this is purely a scheduling choice. The
-    // observer rides along: instrumentation follows the work wherever
-    // it is scheduled.
-    if (ctx.isParallel() && batch_size >= ctx.threads) {
-        ExecContext inner = ExecContext::serial();
-        inner.obs = ctx.obs;
-        inner.kernels = ctx.kernels;
-        return inner;
-    }
+    // Batch-level and intra-sequence parallelism compose: a
+    // per-sequence loop submitted from inside a batch slot lands on
+    // the submitting worker's own deque, where threads that finished
+    // their (possibly shorter) sequences steal it. The historical
+    // serial degrade once batch_size >= threads left threads idle for
+    // the whole tail of a skewed batch; with stealing, handing the
+    // unchanged context down is both the simple and the fast choice.
+    // Either composition is bit-identical — scheduling never touches
+    // reduction order — so this is purely a scheduling decision. The
+    // observer and kernel tier ride along with the context.
     return ctx;
 }
 
@@ -189,7 +186,7 @@ InferenceSession::encodeBatch(const TokenBatch &batch) const
     BatchProbe probe(ctx.obs, "session.encodeBatch");
     recordKernelTier(ctx);
     std::vector<Tensor> out(batch.size());
-    ExecContext inner = innerContext(batch.size());
+    ExecContext inner = innerContext();
     ctx.parallelFor(batch.size(), [&](std::size_t i) {
         SequenceProbe seq_probe(inner.obs, batch[i].size());
         ScopedSpan span(inner.obs, "sequence", i);
@@ -205,7 +202,7 @@ InferenceSession::headLogitsBatch(const TokenBatch &batch) const
     BatchProbe probe(ctx.obs, "session.headLogitsBatch");
     recordKernelTier(ctx);
     std::vector<Tensor> out(batch.size());
-    ExecContext inner = innerContext(batch.size());
+    ExecContext inner = innerContext();
     ctx.parallelFor(batch.size(), [&](std::size_t i) {
         SequenceProbe seq_probe(inner.obs, batch[i].size());
         ScopedSpan span(inner.obs, "sequence", i);

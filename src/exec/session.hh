@@ -5,10 +5,14 @@
  * A session owns a model (FP32 BertModel or compressed-domain
  * QuantizedBertModel) together with the ExecContext it runs under, and
  * exposes single-sequence and batched forward passes. Batched calls
- * parallelize *across* sequences on the context's pool while each
- * per-sequence forward runs serially inside its slot, which keeps
- * batch results bit-identical to one-at-a-time calls (and to the
- * serial backend) — the determinism contract DESIGN.md §7 documents.
+ * parallelize *across* sequences on the context's pool, and each
+ * per-sequence forward keeps its own intra-sequence parallelism: the
+ * pool composes the two levels by sharing nested submissions onto the
+ * worker deques, so when sequence lengths are skewed the threads that
+ * finish short sequences steal tile tasks from the long ones instead
+ * of idling. Composition only moves work between threads, so batch
+ * results stay bit-identical to one-at-a-time calls (and to the
+ * serial backend) — the determinism contract DESIGN.md §12 documents.
  * The CLI `infer` command, the examples, and bench/micro_forward all
  * drive inference through this class instead of ad-hoc encoder calls.
  */
@@ -90,10 +94,13 @@ class InferenceSession
 
   private:
     /**
-     * Context for the per-sequence forward inside a batched call:
-     * serial when the batch dimension already saturates the pool.
+     * Context for the per-sequence forward inside a batched call. The
+     * session's own context rides through unchanged: intra-sequence
+     * loops become nested pool submissions that compose with the
+     * batch-level loop by work-stealing, rather than the historical
+     * all-or-nothing serial degrade once batch_size >= threads.
      */
-    ExecContext innerContext(std::size_t batch_size) const;
+    ExecContext innerContext() const;
 
     ExecContext ctx;
     std::optional<BertModel> fp32;

@@ -1,37 +1,72 @@
 #include "exec/threadpool.hh"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <iostream>
 
 namespace gobo {
 
 namespace {
 
 /**
- * Set while a thread is draining a job, so a nested run() from inside
- * fn falls back to inline execution instead of waiting on the pool it
- * is itself a worker of.
+ * Owner-side chunking: each pop takes 1/4 of the newest task's
+ * remaining range (at least one index), so early chunks are big and
+ * cheap while the tail self-schedules finely without a cost model.
  */
-thread_local bool inside_pool = false;
+constexpr std::size_t kOwnerChunkDiv = 4;
+
+/**
+ * Which pool (if any) the current thread is draining, and its slot in
+ * that pool's queue array. Workers set these once for their lifetime;
+ * the top-level submitter sets them for the duration of its drain.
+ * They route a nested run() to the right deque, and turn a run()
+ * against a *different* pool into an inline call (a blocking cross-
+ * pool submission from inside a worker could form a cycle).
+ */
+thread_local ThreadPool *tls_pool = nullptr;
+thread_local std::size_t tls_slot = SIZE_MAX;
 
 } // namespace
+
+std::optional<std::size_t>
+parseThreadsSpec(const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        return std::nullopt;
+    char *end = nullptr;
+    errno = 0;
+    long v = std::strtol(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0' || v <= 0
+        || v > 65536)
+        return std::nullopt;
+    return static_cast<std::size_t>(v);
+}
 
 std::size_t
 defaultThreads()
 {
-    if (const char *env = std::getenv("GOBO_THREADS")) {
-        char *end = nullptr;
-        long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0)
-            return static_cast<std::size_t>(v);
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
+    // Parsed once and cached: innerContext() and friends call this on
+    // the per-batch path, and getenv+strtol per call was measurable.
+    static const std::size_t cached = [] {
+        if (const char *env = std::getenv("GOBO_THREADS")) {
+            if (auto v = parseThreadsSpec(env))
+                return *v;
+            std::cerr << "gobo: ignoring invalid GOBO_THREADS='" << env
+                      << "' (want a positive integer <= 65536); using "
+                         "hardware concurrency\n";
+        }
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? std::size_t{1} : std::size_t{hw};
+    }();
+    return cached;
 }
 
 ThreadPool::ThreadPool(std::size_t n_workers)
 {
     if (n_workers == 0)
         n_workers = defaultThreads();
+    queues = std::make_unique<WorkQueue[]>(n_workers + 1);
     stats = std::make_unique<ParticipantStats[]>(n_workers + 1);
     workers.reserve(n_workers);
     for (std::size_t t = 0; t < n_workers; ++t)
@@ -46,71 +81,191 @@ ThreadPool::~ThreadPool()
     }
     wake.notify_all();
     // Join here, before any member is destroyed: a worker may still be
-    // inside done.notify_one() after finishing its last job, and the
+    // inside done.notify_all() after finishing its last chunk, and the
     // condition variables must outlive that call.
     workers.clear();
 }
 
-void
-ThreadPool::drain(const std::function<void(std::size_t)> &fn,
-                  std::size_t count, std::atomic<std::uint64_t> &items)
+bool
+ThreadPool::popChunk(std::size_t slot, Task &chunk)
 {
-    inside_pool = true;
-    std::uint64_t claimed = 0;
-    for (;;) {
-        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count)
-            break;
-        ++claimed;
+    WorkQueue &q = queues[slot];
+    std::lock_guard lock(q.m);
+    if (q.tasks.empty())
+        return false;
+    Task &t = q.tasks.back();
+    std::size_t n = t.end - t.begin;
+    std::size_t take = std::max<std::size_t>(1, n / kOwnerChunkDiv);
+    chunk = {t.job, t.begin, t.begin + take};
+    t.begin += take;
+    if (t.begin == t.end)
+        q.tasks.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::stealChunk(std::size_t slot, Task &chunk)
+{
+    std::size_t slots = workers.size() + 1;
+    for (std::size_t off = 1; off < slots; ++off) {
+        std::size_t v = (slot + off) % slots;
+        Task stolen;
+        {
+            std::lock_guard lock(queues[v].m);
+            auto &tasks = queues[v].tasks;
+            if (tasks.empty())
+                continue;
+            // Split the oldest task: its owner is carving chunks off
+            // the newest, so the front is the least-contended range.
+            Task &t = tasks.front();
+            std::size_t n = t.end - t.begin;
+            if (n <= 1) {
+                stolen = t;
+                tasks.erase(tasks.begin());
+            } else {
+                std::size_t mid = t.begin + n / 2;
+                stolen = {t.job, mid, t.end};
+                t.end = mid;
+            }
+        }
+        stats[slot].steals.fetch_add(1, std::memory_order_relaxed);
+        // Re-queue the stolen range on our own deque so it stays
+        // stealable, then self-schedule off it like any other task.
+        {
+            std::lock_guard lock(queues[slot].m);
+            queues[slot].tasks.push_back(stolen);
+        }
+        return popChunk(slot, chunk);
+    }
+    return false;
+}
+
+void
+ThreadPool::executeChunk(const Task &chunk, std::size_t slot)
+{
+    Job &job = *chunk.job;
+    const auto &fn = *job.fn;
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+        if (job.cancelled.load(std::memory_order_relaxed))
+            continue; // count as done so the job still completes.
         try {
             fn(i);
         } catch (...) {
             std::lock_guard lock(mutex);
-            if (!error)
-                error = std::current_exception();
-            // Stop issuing new indexes; in-flight calls finish.
-            next.store(count, std::memory_order_relaxed);
+            if (!job.error)
+                job.error = std::current_exception();
+            job.cancelled.store(true, std::memory_order_relaxed);
         }
     }
-    // One relaxed add per drain, not per item — telemetry must not
-    // put a shared cacheline in the claim loop.
-    items.fetch_add(claimed, std::memory_order_relaxed);
-    inside_pool = false;
+    std::size_t n = chunk.end - chunk.begin;
+    // One relaxed add per chunk, not per item — telemetry must not
+    // put a shared cacheline in the execution loop.
+    stats[slot].items.fetch_add(n, std::memory_order_relaxed);
+    if (job.pending.fetch_sub(n) == n) {
+        // Last chunk of the job. Notify under the mutex so a submitter
+        // between its predicate check and its wait cannot miss this.
+        std::lock_guard lock(mutex);
+        done.notify_all();
+    }
+}
+
+void
+ThreadPool::drainJob(Job &job, std::size_t slot)
+{
+    while (job.pending.load() != 0) {
+        Task chunk;
+        if (popChunk(slot, chunk) || stealChunk(slot, chunk)) {
+            executeChunk(chunk, slot);
+            continue;
+        }
+        // Nothing claimable anywhere: the job's remaining indexes are
+        // in flight on other threads. Block until a job completes or
+        // new work appears (an in-flight index may spawn a nested job
+        // whose tasks we can help drain).
+        std::unique_lock lock(mutex);
+        if (job.pending.load() == 0)
+            break;
+        std::uint64_t seen = wakeSignal;
+        done.wait(lock, [&] {
+            return job.pending.load() == 0 || wakeSignal != seen;
+        });
+    }
+}
+
+void
+ThreadPool::rethrowJobError(Job &job)
+{
+    std::exception_ptr err;
+    {
+        std::lock_guard lock(mutex);
+        err = job.error;
+    }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 void
 ThreadPool::workerLoop(std::size_t worker)
 {
-    std::uint64_t seen = 0;
+    tls_pool = this;
+    tls_slot = worker;
+    std::uint64_t seen_signal = 0, joined_gen = 0;
     for (;;) {
-        const std::function<void(std::size_t)> *fn = nullptr;
-        std::size_t count = 0;
         {
             std::unique_lock lock(mutex);
+            ++sleepers;
             wake.wait(lock, [&] {
-                return stopping || generation != seen;
+                return stopping || wakeSignal != seen_signal;
             });
+            --sleepers;
+            seen_signal = wakeSignal;
             if (stopping)
                 return;
-            seen = generation;
-            // Late to a job that is already fully claimed or out of
-            // slots: go back to sleep until the next generation.
-            if (jobSlots == 0
-                || next.load(std::memory_order_relaxed) >= jobCount)
-                continue;
-            --jobSlots;
-            ++active;
-            fn = jobFn;
-            count = jobCount;
+            // Ticket check: join each top-level job at most once, and
+            // only while its parallelism budget has room. A wake for a
+            // nested job inside a generation we already joined needs
+            // no new ticket.
+            if (joined_gen != topGeneration) {
+                if (helperTickets == 0)
+                    continue;
+                --helperTickets;
+                joined_gen = topGeneration;
+            }
         }
         stats[worker].wakes.fetch_add(1, std::memory_order_relaxed);
-        drain(*fn, count, stats[worker].items);
-        {
-            std::lock_guard lock(mutex);
-            --active;
+        for (;;) {
+            Task chunk;
+            if (popChunk(worker, chunk) || stealChunk(worker, chunk))
+                executeChunk(chunk, worker);
+            else
+                break;
         }
-        done.notify_one();
     }
+}
+
+void
+ThreadPool::nestedRun(std::size_t count,
+                      const std::function<void(std::size_t)> &fn)
+{
+    statNested.fetch_add(1, std::memory_order_relaxed);
+    Job job;
+    job.fn = &fn;
+    job.pending.store(count, std::memory_order_relaxed);
+    std::size_t slot = tls_slot;
+    {
+        std::lock_guard lock(queues[slot].m);
+        queues[slot].tasks.push_back({&job, 0, count});
+    }
+    {
+        // Bump the signal under the mutex so a worker between its
+        // sleep-predicate check and its wait cannot miss it.
+        std::lock_guard lock(mutex);
+        ++wakeSignal;
+    }
+    wake.notify_all();
+    done.notify_all(); // blocked submitters may steal in and help.
+    drainJob(job, slot);
+    rethrowJobError(job);
 }
 
 void
@@ -119,42 +274,67 @@ ThreadPool::run(std::size_t count, std::size_t parallelism,
 {
     if (count == 0)
         return;
-    // Inline paths: explicit serial request, trivial ranges, or a
-    // nested call from a thread already draining a job.
-    if (parallelism <= 1 || count <= 1 || workers.empty()
-        || inside_pool) {
+    // Inline paths: explicit serial request (including loops the
+    // caller judged under-grain) and trivial ranges. Also a submission
+    // from inside a *different* pool's worker: a blocking cross-pool
+    // handoff could form a cycle, so it degrades to inline like the
+    // historical nested behaviour.
+    bool foreign = tls_pool != nullptr && tls_pool != this;
+    if (parallelism <= 1 || count <= 1 || workers.empty() || foreign) {
         statInline.fetch_add(1, std::memory_order_relaxed);
         for (std::size_t i = 0; i < count; ++i)
             fn(i);
         return;
     }
+    if (tls_pool == this) {
+        // Nested submission: share the range onto this participant's
+        // deque so idle workers steal it, instead of running inline.
+        // Parallelism is bounded by the enclosing job's ticket cap.
+        nestedRun(count, fn);
+        return;
+    }
 
     std::lock_guard submit(submitMutex);
     statJobs.fetch_add(1, std::memory_order_relaxed);
+    Job job;
+    job.fn = &fn;
+    job.pending.store(count, std::memory_order_relaxed);
+
+    std::size_t sub_slot = workers.size();
+    std::size_t parts = std::min({workers.size() + 1, parallelism,
+                                  count});
+    // Scatter near-equal contiguous ranges: the submitter's own deque
+    // gets the first, worker deques the rest. Which workers actually
+    // join is the scheduler's business — any participant steals from
+    // any deque, so a sleeping owner never strands its range.
+    std::size_t base = count / parts, rem = count % parts;
+    std::size_t begin = 0;
+    for (std::size_t p = 0; p < parts; ++p) {
+        std::size_t len = base + (p < rem ? 1 : 0);
+        std::size_t slot = p == 0 ? sub_slot : p - 1;
+        {
+            std::lock_guard lock(queues[slot].m);
+            queues[slot].tasks.push_back({&job, begin, begin + len});
+        }
+        begin += len;
+    }
     {
         std::lock_guard lock(mutex);
-        jobFn = &fn;
-        jobCount = count;
-        // The submitter is one participant; cap helpers by the
-        // remaining work and the requested parallelism.
-        jobSlots = std::min({workers.size(), count - 1,
-                             parallelism - 1});
-        next.store(0, std::memory_order_relaxed);
-        error = nullptr;
-        ++generation;
+        ++topGeneration;
+        helperTickets = std::min({workers.size(), parallelism - 1,
+                                  count - 1});
+        ++wakeSignal;
     }
     wake.notify_all();
 
-    drain(fn, count, stats[workers.size()].items);
-
-    std::unique_lock lock(mutex);
-    // No worker can join after this point: every index is claimed, so
-    // the jobSlots/next check in workerLoop turns late arrivals away.
-    done.wait(lock, [&] { return active == 0; });
-    jobFn = nullptr;
-    jobSlots = 0;
-    if (error)
-        std::rethrow_exception(error);
+    tls_pool = this;
+    tls_slot = sub_slot;
+    drainJob(job, sub_slot);
+    tls_pool = nullptr;
+    tls_slot = SIZE_MAX;
+    // pending == 0 here means every index executed and no thread holds
+    // a Task pointing at `job`, so the stack frame may safely die.
+    rethrowJobError(job);
 }
 
 PoolTelemetry
@@ -163,6 +343,7 @@ ThreadPool::telemetry() const
     PoolTelemetry t;
     t.jobs = statJobs.load(std::memory_order_relaxed);
     t.inlineRuns = statInline.load(std::memory_order_relaxed);
+    t.nestedJobs = statNested.load(std::memory_order_relaxed);
     t.workerItems.reserve(workers.size());
     for (std::size_t w = 0; w < workers.size(); ++w) {
         std::uint64_t items =
@@ -170,10 +351,13 @@ ThreadPool::telemetry() const
         t.workerItems.push_back(items);
         t.itemsDrained += items;
         t.wakes += stats[w].wakes.load(std::memory_order_relaxed);
+        t.steals += stats[w].steals.load(std::memory_order_relaxed);
     }
-    // The submitter slot contributes drained items but no wakes.
+    // The submitter slot contributes items and steals but no wakes.
     t.itemsDrained +=
         stats[workers.size()].items.load(std::memory_order_relaxed);
+    t.steals +=
+        stats[workers.size()].steals.load(std::memory_order_relaxed);
     return t;
 }
 

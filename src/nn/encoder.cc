@@ -59,7 +59,10 @@ multiHeadAttention(const ExecContext &ectx, const Tensor &q,
     // preserving per element. The score dot, the row softmax and the
     // value accumulation (an axpy per attended token) all go through
     // the caller's kernel tier so one forward never mixes tiers.
-    ectx.parallelFor(num_heads, [&](std::size_t head) {
+    // Cost hint: per head, seq^2 score dots + softmax + value axpys,
+    // ~4*seq*seq*dh flops — tiny attention blocks stay inline.
+    ectx.parallelFor(num_heads, 4 * seq * seq * dh,
+                     [&](std::size_t head) {
         Tensor scores(seq, seq);
         std::size_t off = head * dh;
         for (std::size_t i = 0; i < seq; ++i) {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 
+#include "exec/scratch.hh"
 #include "exec/threadpool.hh"
 #include "util/table.hh"
 
@@ -142,11 +143,25 @@ appendPoolCounters(MetricsSnapshot &snap, const PoolTelemetry &pool)
     };
     put("pool.jobs", pool.jobs);
     put("pool.inline_runs", pool.inlineRuns);
+    put("pool.nested_jobs", pool.nestedJobs);
     put("pool.worker_wakes", pool.wakes);
+    put("pool.steals", pool.steals);
     put("pool.items_drained", pool.itemsDrained);
     for (std::size_t w = 0; w < pool.workerItems.size(); ++w)
         put("pool.worker[" + std::to_string(w) + "].items",
             pool.workerItems[w]);
+}
+
+void
+appendScratchCounters(MetricsSnapshot &snap, const ScratchStats &s)
+{
+    auto put = [&](std::string name, std::uint64_t value) {
+        snap.counters.push_back({std::move(name), value});
+    };
+    put("scratch.arenas", s.arenas);
+    put("scratch.bytes_reserved", s.bytesReserved);
+    put("scratch.decode_row_hits", s.decodeRowHits);
+    put("scratch.decode_row_misses", s.decodeRowMisses);
 }
 
 std::vector<SpanSummary>

@@ -25,6 +25,7 @@
 namespace gobo {
 
 struct PoolTelemetry;
+struct ScratchStats;
 
 /**
  * Write `tracer`'s events as Chrome trace-event JSON
@@ -45,10 +46,17 @@ void writeMetricsJson(const MetricsSnapshot &snap, std::ostream &os);
 
 /**
  * Fold thread-pool telemetry into `snap` as `pool.*` counters (jobs,
- * inline runs, wakes, items drained, per-worker drain counts) so one
- * exporter covers the whole stack.
+ * inline runs, nested jobs, wakes, steals, items drained, per-worker
+ * drain counts) so one exporter covers the whole stack.
  */
 void appendPoolCounters(MetricsSnapshot &snap, const PoolTelemetry &pool);
+
+/**
+ * Fold scratch-arena statistics (exec/scratch.hh) into `snap` as
+ * `scratch.*` counters: live arenas, bytes reserved, and decoded-row
+ * cache hits/misses.
+ */
+void appendScratchCounters(MetricsSnapshot &snap, const ScratchStats &s);
 
 /** Aggregate of every span sharing one name. */
 struct SpanSummary

@@ -23,7 +23,7 @@ matmul(const ExecContext &ctx, const Tensor &a, const Tensor &b)
     // axpy walks contiguous rows of B and C) is the same on every
     // backend. The axpy kernel never skips a zero aik: 0 * Inf and
     // 0 * NaN must reach the accumulator (IEEE).
-    ctx.parallelRows(m, [&](std::size_t r0, std::size_t r1) {
+    ctx.parallelRows(m, 2 * k * n, [&](std::size_t r0, std::size_t r1) {
         for (std::size_t i = r0; i < r1; ++i) {
             for (std::size_t kk = 0; kk < k; ++kk)
                 kn.axpy(a(i, kk), b.row(kk).data(), c.row(i).data(), n);
@@ -78,12 +78,15 @@ linear(const ExecContext &ctx, const Tensor &x, const Tensor &w,
     // is short (the pooler runs at seq == 1), by sequence otherwise;
     // either way one thread computes a given y(s, o) with the same
     // dot-kernel reduction order.
+    std::size_t in = x.cols();
     if (seq >= out || !ctx.isParallel()) {
-        ctx.parallelRows(seq, [&](std::size_t s0, std::size_t s1) {
+        ctx.parallelRows(seq, 2 * in * out,
+                         [&](std::size_t s0, std::size_t s1) {
             linearBlock(kn, x, w, bias, y, s0, s1, 0, out);
         });
     } else {
-        ctx.parallelRows(out, [&](std::size_t o0, std::size_t o1) {
+        ctx.parallelRows(out, 2 * in * seq,
+                         [&](std::size_t o0, std::size_t o1) {
             linearBlock(kn, x, w, bias, y, 0, seq, o0, o1);
         });
     }
@@ -115,7 +118,8 @@ softmaxRows(const ExecContext &ctx, Tensor &x)
     fatalIf(x.rank() != 2, "softmaxRows needs a rank-2 tensor");
     const KernelSet &kn = resolveKernels(ctx.kernels);
     std::size_t cols = x.cols();
-    ctx.parallelRows(x.rows(), [&](std::size_t r0, std::size_t r1) {
+    ctx.parallelRows(x.rows(), 4 * cols,
+                     [&](std::size_t r0, std::size_t r1) {
         for (std::size_t r = r0; r < r1; ++r)
             kn.softmaxRow(x.row(r).data(), cols);
     });
@@ -136,7 +140,8 @@ geluInplace(const ExecContext &ctx, Tensor &x)
         return;
     }
     std::size_t cols = x.cols();
-    ctx.parallelRows(x.rows(), [&](std::size_t r0, std::size_t r1) {
+    ctx.parallelRows(x.rows(), 10 * cols,
+                     [&](std::size_t r0, std::size_t r1) {
         for (std::size_t r = r0; r < r1; ++r)
             kn.geluRow(x.row(r).data(), cols);
     });
@@ -157,7 +162,8 @@ tanhInplace(const ExecContext &ctx, Tensor &x)
         return;
     }
     std::size_t cols = x.cols();
-    ctx.parallelRows(x.rows(), [&](std::size_t r0, std::size_t r1) {
+    ctx.parallelRows(x.rows(), 8 * cols,
+                     [&](std::size_t r0, std::size_t r1) {
         for (std::size_t r = r0; r < r1; ++r)
             kn.tanhRow(x.row(r).data(), cols);
     });
@@ -179,7 +185,8 @@ layerNormInplace(const ExecContext &ctx, Tensor &x,
             "layerNorm parameter size mismatch");
     const KernelSet &kn = resolveKernels(ctx.kernels);
     std::size_t cols = x.cols();
-    ctx.parallelRows(x.rows(), [&](std::size_t r0, std::size_t r1) {
+    ctx.parallelRows(x.rows(), 8 * cols,
+                     [&](std::size_t r0, std::size_t r1) {
         for (std::size_t r = r0; r < r1; ++r)
             kn.layerNormRow(x.row(r).data(), cols, gamma.data(),
                             beta.data(), eps);

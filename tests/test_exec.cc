@@ -204,6 +204,76 @@ TEST_F(ModelBitIdentity, CompressedSessionBackends)
         expectBitIdentical(a[i], b[i]);
 }
 
+TEST_F(ModelBitIdentity, ThreadCountDeterminism)
+{
+    // The partitioner's contract: thread count picks which thread
+    // computes a slot, never what it computes. Quantized logits must
+    // be bit-identical to the serial golden at every thread count, in
+    // both weight formats. grainFlops = 1 forces even this mini model
+    // through the real parallel partition instead of the grain gate.
+    for (WeightFormat fmt :
+         {WeightFormat::Unpacked, WeightFormat::Packed}) {
+        ModelQuantOptions qopt;
+        qopt.base.bits = 3;
+        qopt.format = fmt;
+        InferenceSession golden(QuantizedBertModel(model, qopt),
+                                ExecContext::serial());
+        auto want = golden.headLogitsBatch(batch);
+        for (std::size_t threads : {1u, 2u, 3u, 7u}) {
+            SCOPED_TRACE(std::string(weightFormatName(fmt))
+                         + " threads=" + std::to_string(threads));
+            ExecContext ctx = ExecContext::parallel(threads);
+            ctx.grainFlops = 1;
+            InferenceSession session(QuantizedBertModel(model, qopt),
+                                     ctx);
+            auto got = session.headLogitsBatch(batch);
+            ASSERT_EQ(got.size(), want.size());
+            for (std::size_t i = 0; i < want.size(); ++i)
+                expectBitIdentical(want[i], got[i]);
+        }
+    }
+}
+
+TEST_F(ModelBitIdentity, WorkStealingOnSkewedSequenceLengths)
+{
+    // Pathologically skewed batch: a few maxPosition-length sequences
+    // among many trivial ones. Batch-level parallelism used to degrade
+    // the inner forwards to serial (all-or-nothing), so the threads
+    // that drew short sequences idled for the whole long tail; now the
+    // inner loops are nested submissions that get stolen. The output
+    // contract stays exact equality with the serial golden, batch
+    // order preserved, across repeated rounds (stealing is racy in
+    // schedule, never in results).
+    Rng rng(321);
+    TokenBatch skewed;
+    for (std::size_t len :
+         {64u, 2u, 3u, 2u, 48u, 2u, 2u, 5u, 2u, 64u, 3u, 2u}) {
+        std::vector<std::int32_t> seq;
+        for (std::size_t t = 0; t < len; ++t)
+            seq.push_back(static_cast<std::int32_t>(rng.integer(
+                0, static_cast<int>(model.config().vocabSize) - 1)));
+        skewed.push_back(std::move(seq));
+    }
+
+    ModelQuantOptions qopt;
+    qopt.base.bits = 3;
+    qopt.format = WeightFormat::Packed;
+    InferenceSession golden(QuantizedBertModel(model, qopt),
+                            ExecContext::serial());
+    auto want = golden.headLogitsBatch(skewed);
+
+    ExecContext ctx = ExecContext::parallel(4);
+    ctx.grainFlops = 1;
+    InferenceSession session(QuantizedBertModel(model, qopt), ctx);
+    for (int round = 0; round < 5; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        auto got = session.headLogitsBatch(skewed);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < want.size(); ++i)
+            expectBitIdentical(want[i], got[i]);
+    }
+}
+
 TEST(BackendBitIdentity, EvaluateAcrossExamples)
 {
     auto cfg = miniConfig(ModelFamily::DistilBert);

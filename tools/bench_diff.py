@@ -11,20 +11,33 @@ bench/baseline/BENCH_forward.json) on three axes:
     the candidate is slower than 40% of baseline).
   * per-span mean_us for spans present in both files — flags any span
     whose mean latency grew by more than `--span-tol` (default 2.0x).
+  * the candidate's thread-scaling curve (`scaling[]`) — parallel
+    efficiency must stay above `--scaling-eff` (speedup_vs_serial >=
+    eff * threads; the default 0.375 demands 1.5x at 4 threads). The
+    gate only applies to entries whose thread count the candidate's
+    machine can actually run (2 <= threads <= `cores`): oversubscribed
+    points and single-core runners carry no scaling signal. Shared
+    thread counts present in both files are also compared at
+    `--tps-tol`, like the engine results. Baselines written before the
+    field existed simply skip the cross-file half.
 
 Both files must have been produced by the same SIMD kernel tier
 (`kernel_tier` in the JSON; files from before the field read as
 "unknown"): comparing a generic-tier baseline against an AVX2
 candidate measures the dispatcher, not a regression, so mismatched
-tiers are refused with exit status 2.
+tiers are refused with exit status 2. The same applies to `threads`:
+a 1-thread baseline against an 8-thread candidate measures the
+scheduler configuration, not a code change, so mismatched thread
+counts are refused with exit status 2 as well.
 
 Exit status: 0 when everything is within tolerance, 1 when any
-threshold is breached, 2 on malformed input or a kernel-tier
-mismatch. Intended for the non-blocking CI bench job, which prints
-the diff as an FYI.
+threshold is breached, 2 on malformed input or a kernel-tier /
+thread-count mismatch. Intended for the non-blocking CI bench job,
+which prints the diff as an FYI.
 
 Usage: bench_diff.py BASELINE.json CANDIDATE.json
            [--span-tol X] [--resident-tol X] [--tps-tol X]
+           [--scaling-eff X]
 """
 
 import argparse
@@ -32,14 +45,20 @@ import json
 import sys
 
 
+def refuse(msg):
+    """Print a refusal and exit 2 (sys.exit(str) would exit 1)."""
+    print(msg, file=sys.stderr)
+    sys.exit(2)
+
+
 def load(path):
     try:
         with open(path, encoding="utf-8") as f:
             data = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"bench_diff: cannot read {path}: {e}")
+        refuse(f"bench_diff: cannot read {path}: {e}")
     if data.get("bench") != "micro_forward":
-        sys.exit(f"bench_diff: {path} is not a micro_forward result")
+        refuse(f"bench_diff: {path} is not a micro_forward result")
     return data
 
 
@@ -64,6 +83,10 @@ def main():
                     help="max allowed resident_bytes growth factor")
     ap.add_argument("--tps-tol", type=float, default=0.4,
                     help="min allowed tokens_per_sec fraction")
+    ap.add_argument("--scaling-eff", type=float, default=0.375,
+                    help="min parallel efficiency for scaling entries "
+                         "with 2 <= threads <= cores (0.375 = 1.5x "
+                         "speedup at 4 threads)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -72,11 +95,22 @@ def main():
     base_tier = base.get("kernel_tier", "unknown")
     cand_tier = cand.get("kernel_tier", "unknown")
     if base_tier != cand_tier:
-        sys.exit(
+        refuse(
             f"bench_diff: kernel tier mismatch: baseline ran "
             f"'{base_tier}', candidate ran '{cand_tier}' — re-run the "
             f"candidate under GOBO_KERNEL={base_tier} (cross-tier "
             f"throughput diffs measure the dispatcher, not a "
+            f"regression)")
+
+    base_threads = base.get("threads")
+    cand_threads = cand.get("threads")
+    if base_threads != cand_threads:
+        refuse(
+            f"bench_diff: thread-count mismatch: baseline ran "
+            f"threads={base_threads}, candidate ran "
+            f"threads={cand_threads} — re-run the candidate under "
+            f"GOBO_THREADS={base_threads} (cross-width throughput "
+            f"diffs measure the scheduler configuration, not a "
             f"regression)")
     failures = []
 
@@ -115,6 +149,49 @@ def main():
                 mark = "  <-- FAIL"
             print(f"  {name:22s} tok/s    {tb:>10.0f} -> {tc:>10.0f} "
                   f"({frac:.2f}x){mark}")
+
+    # Thread-scaling curve. The efficiency gate is *self*-contained to
+    # the candidate file (speedup vs its own serial point), so it works
+    # even against a baseline that predates scaling[]; the cross-file
+    # tok/s comparison only runs for thread counts present in both.
+    cand_scaling = {
+        s["threads"]: s for s in cand.get("scaling", [])
+    }
+    base_scaling = {
+        s["threads"]: s for s in base.get("scaling", [])
+    }
+    if cand_scaling:
+        cores = cand.get("cores", 1)
+        print(f"  scaling (candidate cores={cores}, "
+              f"gate eff>={args.scaling_eff} for 2<=t<=cores):")
+        for t in sorted(cand_scaling):
+            c = cand_scaling[t]
+            speed = c.get("speedup_vs_serial", 0.0)
+            gated = 2 <= t <= cores
+            mark = ""
+            if gated and speed < args.scaling_eff * t:
+                failures.append(
+                    f"scaling: {speed:.2f}x at {t} threads < "
+                    f"{args.scaling_eff * t:.2f}x "
+                    f"(eff {args.scaling_eff} * {t})")
+                mark = "  <-- FAIL"
+            note = "" if gated else "  (not gated)"
+            print(f"    t={t:<3d} {c.get('tokens_per_sec', 0):>10.0f} "
+                  f"tok/s  {speed:.2f}x{note}{mark}")
+            b = base_scaling.get(t)
+            if b and b.get("tokens_per_sec", 0) > 0:
+                frac = c.get("tokens_per_sec", 0) / b["tokens_per_sec"]
+                mark = ""
+                if frac < args.tps_tol:
+                    failures.append(
+                        f"scaling t={t}: tokens/sec "
+                        f"{b['tokens_per_sec']:.0f} -> "
+                        f"{c.get('tokens_per_sec', 0):.0f} "
+                        f"({frac:.2f}x < {args.tps_tol}x)")
+                    mark = "  <-- FAIL"
+                print(f"         vs baseline "
+                      f"{b['tokens_per_sec']:>10.0f} tok/s "
+                      f"({frac:.2f}x){mark}")
 
     print("  spans (shared, by mean_us growth):")
     base_s = spans_by_name(base)

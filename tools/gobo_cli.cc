@@ -48,6 +48,7 @@
 #include "core/container.hh"
 #include "core/qexec.hh"
 #include "core/quantizer.hh"
+#include "exec/scratch.hh"
 #include "exec/session.hh"
 #include "exec/threadpool.hh"
 #include "kernels/kernels.hh"
@@ -440,6 +441,7 @@ cmdInfer(const Args &args)
     if (show_metrics || !metrics_json_path.empty()) {
         MetricsSnapshot snap = observer->metrics.snapshot();
         appendPoolCounters(snap, ThreadPool::shared().telemetry());
+        appendScratchCounters(snap, scratchStats());
         if (show_metrics) {
             std::puts("");
             printMetrics(snap, std::cout);

@@ -16,8 +16,12 @@ cmake -B "$build" -S "$repo" -DGOBO_SANITIZE=thread \
 cmake --build "$build" -j \
     --target test_threadpool test_exec test_parallel test_ops
 
+# ModelBitIdentity covers ThreadCountDeterminism and the skewed-batch
+# WorkStealingOnSkewedSequenceLengths stress; the ThreadPool group
+# covers the steal path itself (StealsFromABlockedParticipant,
+# SkewedItemsBalanceAcrossWorkers, nested composition).
 GOBO_THREADS=${GOBO_THREADS:-8} TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
     ctest --test-dir "$build" --output-on-failure \
-    -R 'ThreadPool|ExecContext|BackendBitIdentity|ModelBitIdentity|Parallel'
+    -R 'ThreadPool|ExecContext|DefaultThreads|BackendBitIdentity|ModelBitIdentity|Parallel'
 
 echo "TSan run clean."
