@@ -17,6 +17,7 @@
 
 #include "core/qexec.hh"
 #include "exec/session.hh"
+#include "exec/threadpool.hh"
 #include "model/generate.hh"
 #include "obs/metrics.hh"
 #include "util/rng.hh"
@@ -49,9 +50,10 @@ serve(const InferenceSession &session, const TokenBatch &batch,
         reg.observe(h, t.seconds() * 1e6);
     }
     ServeStats s;
-    s.tokensPerSec =
-        static_cast<double>(reps * batch.size() * batch[0].size())
-        / total.seconds();
+    // batchTokens sums actual per-sequence lengths; batch.size() *
+    // batch[0].size() over-counts as soon as lengths are mixed.
+    s.tokensPerSec = static_cast<double>(reps * batchTokens(batch))
+                     / total.seconds();
     auto snap = reg.snapshot();
     s.latency = *snap.findHistogram("batch_latency_us");
     return s;
@@ -73,9 +75,18 @@ printStats(const char *label, const ServeStats &s)
 int
 main(int argc, char **argv)
 {
-    std::size_t threads = argc > 1
-                              ? std::strtoul(argv[1], nullptr, 10)
-                              : defaultThreads();
+    std::size_t threads = defaultThreads();
+    if (argc > 1) {
+        auto parsed = parseThreadsSpec(argv[1]);
+        if (!parsed) {
+            std::fprintf(stderr,
+                         "serve_batch: invalid thread count '%s' "
+                         "(want a positive integer <= 65536)\n",
+                         argv[1]);
+            return 1;
+        }
+        threads = *parsed;
+    }
 
     auto cfg = miniConfig(ModelFamily::BertBase);
     BertModel model = generateModel(cfg, 42);

@@ -35,6 +35,22 @@ namespace gobo {
 /** A batch of token sequences. */
 using TokenBatch = std::vector<std::vector<std::int32_t>>;
 
+/**
+ * Total tokens across a batch — the sum of per-sequence lengths, NOT
+ * batch.size() * batch[0].size(): mixed-length batches are the norm
+ * under serving load, and throughput computed from the first
+ * sequence's length is simply wrong there. Every tokens/sec report
+ * over a TokenBatch goes through this.
+ */
+inline std::size_t
+batchTokens(const TokenBatch &batch)
+{
+    std::size_t tokens = 0;
+    for (const auto &seq : batch)
+        tokens += seq.size();
+    return tokens;
+}
+
 /** A model + execution context bound together for repeated inference. */
 class InferenceSession
 {

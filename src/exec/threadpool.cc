@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <charconv>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 namespace gobo {
@@ -32,15 +34,25 @@ thread_local std::size_t tls_slot = SIZE_MAX;
 std::optional<std::size_t>
 parseThreadsSpec(const char *text)
 {
+    auto v = parseUint64Spec(text);
+    if (!v || *v == 0 || *v > 65536)
+        return std::nullopt;
+    return static_cast<std::size_t>(*v);
+}
+
+std::optional<std::uint64_t>
+parseUint64Spec(const char *text)
+{
     if (text == nullptr || *text == '\0')
         return std::nullopt;
-    char *end = nullptr;
-    errno = 0;
-    long v = std::strtol(text, &end, 10);
-    if (errno != 0 || end == text || *end != '\0' || v <= 0
-        || v > 65536)
+    // from_chars is the strict parser: no whitespace/sign skipping, and
+    // overflow is a reported error instead of a saturating wrap.
+    const char *last = text + std::strlen(text);
+    std::uint64_t value = 0;
+    auto [ptr, ec] = std::from_chars(text, last, value, 10);
+    if (ec != std::errc{} || ptr != last)
         return std::nullopt;
-    return static_cast<std::size_t>(v);
+    return value;
 }
 
 std::size_t

@@ -64,6 +64,16 @@ std::size_t defaultThreads();
 std::optional<std::size_t> parseThreadsSpec(const char *text);
 
 /**
+ * Strict unsigned-integer parse for CLI arguments: decimal digits
+ * only, no sign, no leading whitespace, no trailing junk, and nullopt
+ * on overflow past uint64. The permissive strtoull idiom (which eats
+ * whitespace, accepts "-1" by wrapping, and ignores trailing garbage)
+ * silently mangles seeds and thread counts; every argv integer in the
+ * tools goes through here instead.
+ */
+std::optional<std::uint64_t> parseUint64Spec(const char *text);
+
+/**
  * Point-in-time pool activity counters (see ThreadPool::telemetry()).
  * Values are relaxed-atomic reads: each is individually exact, but a
  * snapshot taken while jobs run may be torn across fields.

@@ -1,6 +1,7 @@
 #include "obs/export.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 
@@ -52,6 +53,17 @@ jsonNum(double v, int precision = 3)
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.*f", precision, v);
     return buf;
+}
+
+/**
+ * jsonNum, except non-finite values (the NaN an empty histogram's
+ * quantile returns by contract) become JSON null — "nan" is not valid
+ * JSON and 0 would fake a measurement that never happened.
+ */
+std::string
+jsonNumOrNull(double v, int precision = 3)
+{
+    return std::isfinite(v) ? jsonNum(v, precision) : "null";
 }
 
 } // namespace
@@ -127,9 +139,9 @@ writeMetricsJson(const MetricsSnapshot &snap, std::ostream &os)
            << (h.quantilesAreLowerBounds() ? "true" : "false")
            << ", \"sum\": " << jsonNum(h.sum)
            << ", \"mean\": " << jsonNum(h.mean())
-           << ", \"p50\": " << jsonNum(h.quantile(0.50))
-           << ", \"p90\": " << jsonNum(h.quantile(0.90))
-           << ", \"p99\": " << jsonNum(h.quantile(0.99)) << "}";
+           << ", \"p50\": " << jsonNumOrNull(h.quantile(0.50))
+           << ", \"p90\": " << jsonNumOrNull(h.quantile(0.90))
+           << ", \"p99\": " << jsonNumOrNull(h.quantile(0.99)) << "}";
         first = false;
     }
     os << "\n  ]\n}\n";

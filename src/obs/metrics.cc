@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.hh"
 
@@ -66,8 +67,11 @@ double
 HistogramSnapshot::quantile(double q) const
 {
     fatalIf(q < 0.0 || q > 1.0, "histogram quantile q out of [0,1]: ", q);
+    // Empty histogram: NaN, by contract. 0 would be indistinguishable
+    // from a genuine 0-latency quantile — a serve run that shed every
+    // request must not report p50 = 0 as if latency were excellent.
     if (count == 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     // Rank of the requested quantile among `count` observations.
     double rank = q * static_cast<double>(count);
     std::uint64_t cum = 0;

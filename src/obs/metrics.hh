@@ -60,11 +60,15 @@ struct HistogramSnapshot
 
     /**
      * Quantile estimate by linear interpolation inside the bucket that
-     * contains rank q * count. q in [0, 1]; 0 when empty. Values in
-     * the overflow bucket report the last finite bound (histograms
-     * cannot interpolate toward infinity), so choose bounds that cover
-     * the expected range — and check quantilesAreLowerBounds() before
-     * trusting a tail quantile.
+     * contains rank q * count. q in [0, 1]. On an empty histogram
+     * (zero observations — e.g. a serve run where every request was
+     * shed) the quantile is *undefined* and this returns NaN, never an
+     * arbitrary bucket value: exporters render it as "-" / JSON null,
+     * and a 0 here would be indistinguishable from a real 0-latency
+     * measurement. Values in the overflow bucket report the last
+     * finite bound (histograms cannot interpolate toward infinity), so
+     * choose bounds that cover the expected range — and check
+     * quantilesAreLowerBounds() before trusting a tail quantile.
      */
     double quantile(double q) const;
 

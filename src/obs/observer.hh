@@ -52,7 +52,17 @@ class Observer
           sequenceLatencyUs(metrics.histogram(
               "session.sequence_latency_us", latencyBoundsUs())),
           batchLatencyUs(metrics.histogram("session.batch_latency_us",
-                                           latencyBoundsUs()))
+                                           latencyBoundsUs())),
+          serveAdmitted(metrics.counter("serve.admitted")),
+          serveShedOverload(metrics.counter("serve.shed_overload")),
+          serveShedDeadline(metrics.counter("serve.shed_deadline")),
+          serveBatches(metrics.counter("serve.batches")),
+          serveLanesFilled(metrics.counter("serve.lanes_filled")),
+          serveLanesTotal(metrics.counter("serve.lanes_total")),
+          serveLatencyUs(metrics.histogram("serve.request_latency_us",
+                                           latencyBoundsUs())),
+          serveQueueWaitUs(metrics.histogram("serve.queue_wait_us",
+                                             latencyBoundsUs()))
     {
     }
 
@@ -82,6 +92,16 @@ class Observer
     CounterId sessionTokens;
     HistogramId sequenceLatencyUs;
     HistogramId batchLatencyUs;
+    // Serving-layer ids (src/serve): admission outcome counters, tile
+    // accounting, and the per-request virtual-latency histograms.
+    CounterId serveAdmitted;
+    CounterId serveShedOverload;
+    CounterId serveShedDeadline;
+    CounterId serveBatches;
+    CounterId serveLanesFilled;
+    CounterId serveLanesTotal;
+    HistogramId serveLatencyUs;
+    HistogramId serveQueueWaitUs;
 
     /** One branch when `obs` is null — the null-observer contract. */
     static void

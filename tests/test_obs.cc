@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -196,13 +197,22 @@ TEST(Export, UnsaturatedHistogramIsNotMarked)
               std::string::npos);
 }
 
-TEST(Metrics, EmptyHistogramQuantileIsZero)
+TEST(Metrics, EmptyHistogramQuantileIsNaN)
 {
+    // An empty histogram has no defined quantile: NaN by contract, so
+    // an all-shed serve run can never masquerade as 0-latency. The
+    // JSON exporter must render that as null (never the invalid token
+    // "nan"); the console table skips empty histograms entirely.
     MetricsRegistry reg;
     reg.histogram("never", {1.0});
     auto snap = reg.snapshot();
-    EXPECT_EQ(snap.findHistogram("never")->quantile(0.99), 0.0);
+    EXPECT_TRUE(std::isnan(snap.findHistogram("never")->quantile(0.99)));
+    EXPECT_TRUE(std::isnan(snap.findHistogram("never")->quantile(0.0)));
     EXPECT_EQ(snap.findHistogram("never")->mean(), 0.0);
+    std::ostringstream json;
+    writeMetricsJson(snap, json);
+    EXPECT_EQ(json.str().find("nan"), std::string::npos);
+    EXPECT_NE(json.str().find("\"p99\": null"), std::string::npos);
 }
 
 TEST(Metrics, RejectsBadBounds)

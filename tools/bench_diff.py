@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_forward.json files with regression thresholds.
+"""Diff two bench JSON files with regression thresholds.
 
-Compares a candidate run against a baseline (typically the committed
-bench/baseline/BENCH_forward.json) on three axes:
+Dispatches on the "bench" field; the two files must come from the same
+benchmark.
+
+micro_forward — compares a candidate run against a baseline (typically
+the committed bench/baseline/BENCH_forward.json) on three axes:
 
   * resident_bytes per engine/backend — the compression contract; this
     is deterministic, so the tolerance is tight (default 1.01x).
@@ -21,6 +24,15 @@ bench/baseline/BENCH_forward.json) on three axes:
     `--tps-tol`, like the engine results. Baselines written before the
     field existed simply skip the cross-file half.
 
+micro_serve — the deterministic block (response_checksum, shed and
+batch counts, lane accounting, tile occupancy, virtual latency and
+queue-wait quantiles, per-band stats) is a pure function of (trace,
+options), so any difference is an exact FAIL (floats compared at
+1e-6 relative). Wall-clock fields are machine-dependent:
+tokens_per_sec gates loosely at `--tps-tol`, batch_exec_us is printed
+FYI only. Files from different traces or admission options are
+refused, like tier/thread mismatches.
+
 Both files must have been produced by the same SIMD kernel tier
 (`kernel_tier` in the JSON; files from before the field read as
 "unknown"): comparing a generic-tier baseline against an AVX2
@@ -28,12 +40,15 @@ candidate measures the dispatcher, not a regression, so mismatched
 tiers are refused with exit status 2. The same applies to `threads`:
 a 1-thread baseline against an 8-thread candidate measures the
 scheduler configuration, not a code change, so mismatched thread
-counts are refused with exit status 2 as well.
+counts are refused with exit status 2 as well. (For micro_serve the
+deterministic block is tier/thread-invariant by design, but a
+cross-environment wall-clock diff still says nothing — the stamp must
+match for the run to be a regression signal.)
 
 Exit status: 0 when everything is within tolerance, 1 when any
-threshold is breached, 2 on malformed input or a kernel-tier /
-thread-count mismatch. Intended for the non-blocking CI bench job,
-which prints the diff as an FYI.
+threshold is breached, 2 on malformed input or a refused comparison.
+Intended for the non-blocking CI bench job, which prints the diff as
+an FYI.
 
 Usage: bench_diff.py BASELINE.json CANDIDATE.json
            [--span-tol X] [--resident-tol X] [--tps-tol X]
@@ -43,6 +58,8 @@ Usage: bench_diff.py BASELINE.json CANDIDATE.json
 import argparse
 import json
 import sys
+
+KNOWN_BENCHES = ("micro_forward", "micro_serve")
 
 
 def refuse(msg):
@@ -57,41 +74,15 @@ def load(path):
             data = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         refuse(f"bench_diff: cannot read {path}: {e}")
-    if data.get("bench") != "micro_forward":
-        refuse(f"bench_diff: {path} is not a micro_forward result")
+    # Files from before the dispatcher read as micro_forward.
+    bench = data.get("bench", "micro_forward")
+    if bench not in KNOWN_BENCHES:
+        refuse(f"bench_diff: {path}: unknown bench '{bench}'")
     return data
 
 
-def results_by_key(data):
-    return {
-        (r["engine"], r["backend"]): r for r in data.get("results", [])
-    }
-
-
-def spans_by_name(data):
-    return {s["name"]: s for s in data.get("spans", [])}
-
-
-def main():
-    ap = argparse.ArgumentParser(
-        description="Diff two BENCH_forward.json files")
-    ap.add_argument("baseline")
-    ap.add_argument("candidate")
-    ap.add_argument("--span-tol", type=float, default=2.0,
-                    help="max allowed span mean_us growth factor")
-    ap.add_argument("--resident-tol", type=float, default=1.01,
-                    help="max allowed resident_bytes growth factor")
-    ap.add_argument("--tps-tol", type=float, default=0.4,
-                    help="min allowed tokens_per_sec fraction")
-    ap.add_argument("--scaling-eff", type=float, default=0.375,
-                    help="min parallel efficiency for scaling entries "
-                         "with 2 <= threads <= cores (0.375 = 1.5x "
-                         "speedup at 4 threads)")
-    args = ap.parse_args()
-
-    base = load(args.baseline)
-    cand = load(args.candidate)
-
+def refuse_environment_mismatch(base, cand):
+    """Tier / thread-count stamps must match or the diff is noise."""
     base_tier = base.get("kernel_tier", "unknown")
     cand_tier = cand.get("kernel_tier", "unknown")
     if base_tier != cand_tier:
@@ -112,9 +103,21 @@ def main():
             f"GOBO_THREADS={base_threads} (cross-width throughput "
             f"diffs measure the scheduler configuration, not a "
             f"regression)")
+
+
+def results_by_key(data):
+    return {
+        (r["engine"], r["backend"]): r for r in data.get("results", [])
+    }
+
+
+def spans_by_name(data):
+    return {s["name"]: s for s in data.get("spans", [])}
+
+
+def diff_forward(base, cand, args):
     failures = []
 
-    print(f"bench_diff: {args.baseline} -> {args.candidate}")
     base_r = results_by_key(base)
     cand_r = results_by_key(cand)
     for key in sorted(base_r):
@@ -212,6 +215,166 @@ def main():
             mark = "  <-- FAIL"
         print(f"    {name:28s} {bm:>10.1f} -> {cm:>10.1f} us "
               f"({ratio:.2f}x){mark}")
+
+    return failures
+
+
+# Relative tolerance for the deterministic float fields of micro_serve
+# (occupancy, virtual quantiles). They are pure functions of (trace,
+# options); the epsilon only absorbs decimal round-tripping.
+SERVE_EPS = 1e-6
+
+# (json key, description) — integer fields gated exactly.
+SERVE_EXACT = (
+    ("requests", "request count"),
+    ("completed", "completed count"),
+    ("shed_overload", "overload sheds"),
+    ("shed_deadline", "deadline sheds"),
+    ("batches", "dispatched tiles"),
+    ("lanes_filled", "filled lanes"),
+    ("lanes_total", "total lanes"),
+    ("tokens_served", "tokens served"),
+)
+
+
+def close(a, b, eps=SERVE_EPS):
+    if a is None or b is None:
+        return a == b
+    return abs(a - b) <= eps * max(1.0, abs(a), abs(b))
+
+
+def diff_serve(base, cand, args):
+    failures = []
+
+    # The deterministic block is only comparable for the same scenario:
+    # a different trace or admission policy is a different experiment.
+    for key in ("trace", "engine", "format"):
+        if base.get(key) != cand.get(key):
+            refuse(
+                f"bench_diff: {key} mismatch: baseline "
+                f"'{base.get(key)}' vs candidate '{cand.get(key)}' — "
+                f"micro_serve results are only comparable for the "
+                f"same scenario")
+    if base.get("options") != cand.get("options"):
+        refuse(
+            f"bench_diff: admission options mismatch: "
+            f"{base.get('options')} vs {cand.get('options')} — "
+            f"micro_serve results are only comparable for the same "
+            f"scenario")
+
+    print(f"  trace: {cand.get('trace')}")
+
+    bc, cc = base.get("response_checksum"), cand.get("response_checksum")
+    mark = ""
+    if bc != cc:
+        failures.append(
+            f"response_checksum {bc} -> {cc}: served logits or "
+            f"statuses changed (replay identity broken)")
+        mark = "  <-- FAIL"
+    print(f"  checksum {bc} -> {cc}{mark}")
+
+    for key, what in SERVE_EXACT:
+        b, c = base.get(key), cand.get(key)
+        mark = ""
+        if b != c:
+            failures.append(f"{what}: {b} -> {c} (deterministic field)")
+            mark = "  <-- FAIL"
+        print(f"  {key:22s} {b} -> {c}{mark}")
+
+    det_floats = [("tile_occupancy", base.get("tile_occupancy"),
+                   cand.get("tile_occupancy"))]
+    for block in ("latency_virtual_us", "queue_wait_virtual_us"):
+        for q in ("p50", "p95", "p99"):
+            det_floats.append((f"{block}.{q}",
+                               (base.get(block) or {}).get(q),
+                               (cand.get(block) or {}).get(q)))
+    for name, b, c in det_floats:
+        mark = ""
+        if not close(b, c):
+            failures.append(f"{name}: {b} -> {c} (deterministic field)")
+            mark = "  <-- FAIL"
+        print(f"  {name:28s} {b} -> {c}{mark}")
+
+    base_bands = {b["band"]: b for b in base.get("bands", [])}
+    cand_bands = {b["band"]: b for b in cand.get("bands", [])}
+    if sorted(base_bands) != sorted(cand_bands):
+        failures.append(
+            f"band set changed: {sorted(base_bands)} -> "
+            f"{sorted(cand_bands)}")
+    for band in sorted(set(base_bands) & set(cand_bands)):
+        b, c = base_bands[band], cand_bands[band]
+        ok = (b["requests"] == c["requests"]
+              and b["batches"] == c["batches"]
+              and close(b["occupancy"], c["occupancy"]))
+        mark = ""
+        if not ok:
+            failures.append(
+                f"band {band}: {b['requests']}req/{b['batches']}tile "
+                f"occ {b['occupancy']:.4f} -> "
+                f"{c['requests']}req/{c['batches']}tile "
+                f"occ {c['occupancy']:.4f}")
+            mark = "  <-- FAIL"
+        print(f"  band {band}: {c['requests']} req, {c['batches']} "
+              f"tiles, occupancy {c['occupancy']:.4f}{mark}")
+
+    # Wall-clock half: loose gate on throughput, FYI on exec times.
+    tb = base.get("tokens_per_sec", 0) or 0
+    tc = cand.get("tokens_per_sec", 0) or 0
+    if tb > 0:
+        frac = tc / tb
+        mark = ""
+        if frac < args.tps_tol:
+            failures.append(
+                f"tokens/sec {tb:.0f} -> {tc:.0f} "
+                f"({frac:.2f}x < {args.tps_tol}x)")
+            mark = "  <-- FAIL"
+        print(f"  tokens/sec (wall)      {tb:>10.0f} -> {tc:>10.0f} "
+              f"({frac:.2f}x){mark}")
+    exec_b = base.get("batch_exec_us") or {}
+    exec_c = cand.get("batch_exec_us") or {}
+    print(f"  batch_exec_us p50/p95/p99 (FYI, not gated): "
+          f"{exec_b.get('p50')}/{exec_b.get('p95')}/{exec_b.get('p99')}"
+          f" -> "
+          f"{exec_c.get('p50')}/{exec_c.get('p95')}/{exec_c.get('p99')}")
+
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two bench JSON files")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--span-tol", type=float, default=2.0,
+                    help="max allowed span mean_us growth factor")
+    ap.add_argument("--resident-tol", type=float, default=1.01,
+                    help="max allowed resident_bytes growth factor")
+    ap.add_argument("--tps-tol", type=float, default=0.4,
+                    help="min allowed tokens_per_sec fraction")
+    ap.add_argument("--scaling-eff", type=float, default=0.375,
+                    help="min parallel efficiency for scaling entries "
+                         "with 2 <= threads <= cores (0.375 = 1.5x "
+                         "speedup at 4 threads)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    base_bench = base.get("bench", "micro_forward")
+    cand_bench = cand.get("bench", "micro_forward")
+    if base_bench != cand_bench:
+        refuse(
+            f"bench_diff: bench mismatch: baseline is {base_bench}, "
+            f"candidate is {cand_bench}")
+
+    refuse_environment_mismatch(base, cand)
+
+    print(f"bench_diff: {args.baseline} -> {args.candidate} "
+          f"({base_bench})")
+    if base_bench == "micro_serve":
+        failures = diff_serve(base, cand, args)
+    else:
+        failures = diff_forward(base, cand, args)
 
     if failures:
         print(f"\nbench_diff: {len(failures)} threshold breach(es):")

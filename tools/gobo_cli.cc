@@ -19,6 +19,14 @@
  *                  [--method gobo|kmeans|linear] [--threshold T]
  *                  [--format unpacked|packed] [--sequences N]
  *                  [--seq-len S] [--seed N] [--json OUT.json]
+ *   gobo serve     model.gobm | model.gobc --trace SPEC
+ *                  [--threads N] [--backend serial|parallel]
+ *                  [--kernel generic|avx2|native]
+ *                  [--engine fp32|qexec] [--format unpacked|packed]
+ *                  [--max-queue N] [--flush-deadline-us N]
+ *                  [--deadline-us N] [--band-width N]
+ *                  [--service-rate TOK/S] [--json OUT.json]
+ *                  [--metrics] [--trace-out OUT.json]
  *
  * `generate` writes a synthetic FP32 checkpoint (see model/generate);
  * `compress` produces the GOBC container and prints the per-layer
@@ -33,7 +41,12 @@
  * same registry as machine JSON. `audit` quantizes the model and runs
  * the three-pillar quality/traffic audit (per-layer fidelity, FP32 vs
  * quantized divergence, measured-traffic energy attribution); see
- * DESIGN.md §10.
+ * DESIGN.md §10. `serve` replays a deterministic synthetic request
+ * trace through the continuous-batching admission layer (src/serve)
+ * and reports completion/shed counts, tile occupancy, and virtual
+ * p50/p95/p99 latency; see DESIGN.md §13. Note `infer --trace` writes
+ * a Chrome trace, while `serve --trace` *consumes* a load spec —
+ * serve's Chrome trace output flag is `--trace-out`.
  */
 
 #include <cstdio>
@@ -58,6 +71,8 @@
 #include "obs/audit.hh"
 #include "obs/export.hh"
 #include "obs/observer.hh"
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
 #include "tensor/ops.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -95,8 +110,20 @@ usage(const char *msg = nullptr)
         "                 [--threshold T] [--format unpacked|packed]\n"
         "                 [--sequences N] [--seq-len S] [--seed N]\n"
         "                 [--json OUT.json]\n"
+        "  gobo serve     FILE --trace SPEC [--threads N]\n"
+        "                 [--backend serial|parallel]"
+        " [--kernel generic|avx2|native]\n"
+        "                 [--engine fp32|qexec]"
+        " [--format unpacked|packed]\n"
+        "                 [--max-queue N] [--flush-deadline-us N]"
+        " [--deadline-us N]\n"
+        "                 [--band-width N] [--service-rate TOK/S]\n"
+        "                 [--json OUT.json] [--metrics]"
+        " [--trace-out OUT.json]\n"
         "\nfamilies: bert-base bert-large distilbert roberta"
-        " roberta-large\n",
+        " roberta-large\n"
+        "trace spec: n=1000,seed=42,rate=300,len=1:32,long=0.25"
+        ",burst=4x0.2,period=200000\n",
         stderr);
     std::exit(2);
 }
@@ -184,13 +211,31 @@ parseMethod(const std::string &name)
     usage(("unknown method: " + name).c_str());
 }
 
+/**
+ * Strict unsigned flag value via parseUint64Spec. The permissive
+ * strtoull idiom this replaces turned "--seed banana" into seed 0 and
+ * "--seed -1" into 2^64-1 without a word; a malformed value is a
+ * usage error, not a silently different run.
+ */
+std::uint64_t
+parseU64Flag(const Args &args, const std::string &key,
+             const std::string &fallback)
+{
+    std::string text = args.get(key, fallback);
+    auto v = parseUint64Spec(text.c_str());
+    if (!v)
+        usage(("--" + key + " wants an unsigned decimal integer, got '"
+               + text + "'")
+                  .c_str());
+    return *v;
+}
+
 int
 cmdGenerate(const Args &args)
 {
     auto family = parseFamily(args.get("family", ""));
     std::string scale = args.get("scale", "mini");
-    auto seed = std::strtoull(args.get("seed", "42").c_str(), nullptr,
-                              10);
+    std::uint64_t seed = parseU64Flag(args, "seed", "42");
     std::string out = args.get("out", "");
     if (out.empty())
         usage("generate needs --out");
@@ -351,8 +396,7 @@ cmdInfer(const Args &args)
 
     auto batch_size = std::stoul(args.get("batch", "8"));
     auto seq_len = std::stoul(args.get("seq-len", "32"));
-    auto seed = std::strtoull(args.get("seed", "42").c_str(), nullptr,
-                              10);
+    std::uint64_t seed = parseU64Flag(args, "seed", "42");
     std::string engine = args.get("engine", "fp32");
     if (batch_size == 0 || seq_len == 0)
         usage("batch and seq-len must be positive");
@@ -488,8 +532,7 @@ cmdAudit(const Args &args)
         usage(("unknown format: " + format).c_str());
     opt.sequences = std::stoul(args.get("sequences", "4"));
     opt.seqLen = std::stoul(args.get("seq-len", "32"));
-    opt.seed = std::strtoull(args.get("seed", "42").c_str(), nullptr,
-                             10);
+    opt.seed = parseU64Flag(args, "seed", "42");
     if (opt.sequences == 0 || opt.seqLen == 0)
         usage("sequences and seq-len must be positive");
 
@@ -523,6 +566,173 @@ cmdAudit(const Args &args)
     return 0;
 }
 
+int
+cmdServe(const Args &args)
+{
+    if (args.positional.empty())
+        usage("serve needs a model file");
+    std::string path = args.positional[0];
+
+    std::string spec_text = args.get("trace", "");
+    if (spec_text.empty())
+        usage("serve needs --trace \"n=...,rate=...\" (a load spec, "
+              "not a Chrome trace path — that is --trace-out)");
+    auto spec = parseTraceSpec(spec_text);
+    if (!spec)
+        usage(("invalid trace spec: " + spec_text).c_str());
+
+    // Execution stack flags, same shape as infer. Serving defaults to
+    // the compressed-domain engine on packed weights — the
+    // configuration the paper's latency story is about.
+    std::size_t threads =
+        static_cast<std::size_t>(parseU64Flag(args, "threads", "0"));
+    std::string backend = args.get("backend", "parallel");
+    ExecContext ctx;
+    if (backend == "serial")
+        ctx = ExecContext::serial();
+    else if (backend == "parallel")
+        ctx = ExecContext::parallel(threads);
+    else
+        usage(("unknown backend: " + backend).c_str());
+    std::string format = args.get("format", "packed");
+    if (format == "packed")
+        ctx.weightFormat = WeightFormat::Packed;
+    else if (format != "unpacked")
+        usage(("unknown format: " + format).c_str());
+    const KernelSet &kernels = args.has("kernel")
+                                   ? kernelsByName(args.get("kernel", ""))
+                                   : activeKernels();
+    ctx.kernels = &kernels;
+
+    ServeOptions sopt;
+    sopt.maxQueue =
+        static_cast<std::size_t>(parseU64Flag(args, "max-queue", "256"));
+    sopt.flushDeadlineUs = parseU64Flag(args, "flush-deadline-us",
+                                        "20000");
+    sopt.requestDeadlineUs = parseU64Flag(args, "deadline-us", "0");
+    sopt.bandWidth =
+        static_cast<std::size_t>(parseU64Flag(args, "band-width", "16"));
+    sopt.serviceTokensPerSec = std::stod(
+        args.get("service-rate", "4000"));
+    if (sopt.serviceTokensPerSec <= 0.0)
+        usage("--service-rate must be positive");
+
+    std::string trace_out = args.get("trace-out", "");
+    bool show_metrics = args.has("metrics");
+    std::optional<Observer> observer;
+    if (!trace_out.empty() || show_metrics) {
+        observer.emplace();
+        ctx.obs = &*observer;
+        sopt.obs = &*observer;
+    }
+
+    std::ifstream is(path, std::ios::binary);
+    fatalIf(!is, "cannot open ", path);
+    char magic[5] = {};
+    is.read(magic, 4);
+    fatalIf(!is, "cannot read ", path);
+    is.close();
+    bool is_container = std::memcmp(magic, "CBOG", 4) == 0;
+    BertModel model = is_container ? loadCompressedModel(path)
+                                   : loadModel(path);
+    fatalIf(spec->maxLen > model.config().maxPosition,
+            "trace len max ", spec->maxLen, " exceeds maxPosition ",
+            model.config().maxPosition);
+
+    auto trace = generateTrace(*spec, model.config().vocabSize);
+
+    std::string engine = args.get("engine", "qexec");
+    std::optional<InferenceSession> session;
+    if (engine == "qexec") {
+        ModelQuantOptions qopt;
+        qopt.threads = ctx.isParallel() ? ctx.threads : 1;
+        qopt.format = ctx.weightFormat;
+        session.emplace(QuantizedBertModel(model, qopt), ctx);
+    } else if (engine == "fp32") {
+        session.emplace(std::move(model), ctx);
+    } else {
+        usage(("unknown engine: " + engine).c_str());
+    }
+
+    std::printf("serving trace %s\n",
+                traceSpecString(*spec).c_str());
+    std::printf("%s engine (%s weights), %s backend (%zu threads), %s"
+                " kernels\n",
+                engine.c_str(),
+                engine == "qexec" ? weightFormatName(ctx.weightFormat)
+                                  : "fp32",
+                backendName(ctx.backend), ctx.threads, kernels.name);
+
+    ServeServer server(*session, sopt);
+    ServeRun run = server.runTrace(trace);
+    const ServeSummary &sum = run.summary;
+
+    std::printf("\n%llu requests: %llu completed, %llu shed"
+                " (overload %llu, deadline %llu)\n",
+                static_cast<unsigned long long>(sum.requests),
+                static_cast<unsigned long long>(sum.completed),
+                static_cast<unsigned long long>(sum.shedOverload
+                                                + sum.shedDeadline),
+                static_cast<unsigned long long>(sum.shedOverload),
+                static_cast<unsigned long long>(sum.shedDeadline));
+    std::printf("%llu tiles dispatched, occupancy %.3f"
+                " (%llu/%llu lanes)\n",
+                static_cast<unsigned long long>(sum.batches),
+                sum.tileOccupancy,
+                static_cast<unsigned long long>(sum.lanesFilled),
+                static_cast<unsigned long long>(sum.lanesTotal));
+    ConsoleTable bt({"Band", "Len", "Requests", "Tiles", "Occupancy"});
+    for (const auto &b : sum.bands)
+        bt.addRow({std::to_string(b.band),
+                   std::to_string(b.minLen) + ".."
+                       + std::to_string(b.maxLen),
+                   std::to_string(b.requests), std::to_string(b.batches),
+                   ConsoleTable::num(b.occupancy, 3)});
+    bt.print(std::cout);
+    std::printf("\nvirtual latency   p50 %8.0f us  p95 %8.0f us"
+                "  p99 %8.0f us\n",
+                sum.latencyP50Us, sum.latencyP95Us, sum.latencyP99Us);
+    std::printf("virtual queue     p50 %8.0f us  p95 %8.0f us"
+                "  p99 %8.0f us\n",
+                sum.queueWaitP50Us, sum.queueWaitP95Us,
+                sum.queueWaitP99Us);
+    std::printf("wall: %.2f s, %.0f tokens/sec (%llu tokens served)\n",
+                sum.wallSeconds, sum.tokensPerSec,
+                static_cast<unsigned long long>(sum.tokensServed));
+    std::printf("response checksum 0x%016llx\n",
+                static_cast<unsigned long long>(sum.responseChecksum));
+
+    std::string json_path = args.get("json", "");
+    if (!json_path.empty()) {
+        ServeReportMeta meta;
+        meta.trace = traceSpecString(*spec);
+        meta.kernelTier = kernels.name;
+        meta.threads = ctx.threads;
+        meta.engine = engine;
+        meta.format = engine == "qexec"
+                          ? weightFormatName(ctx.weightFormat)
+                          : "fp32";
+        std::ofstream os(json_path, std::ios::binary);
+        fatalIf(!os, "cannot write ", json_path);
+        writeServeJson(sum, sopt, meta, os);
+        std::printf("wrote serve JSON to %s\n", json_path.c_str());
+    }
+    if (!trace_out.empty()) {
+        std::ofstream os(trace_out, std::ios::binary);
+        fatalIf(!os, "cannot write ", trace_out);
+        writeChromeTrace(observer->tracer, os);
+        std::printf("wrote %zu trace events to %s\n",
+                    observer->tracer.events().size(), trace_out.c_str());
+    }
+    if (show_metrics) {
+        MetricsSnapshot snap = observer->metrics.snapshot();
+        appendPoolCounters(snap, ThreadPool::shared().telemetry());
+        std::puts("");
+        printMetrics(snap, std::cout);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -545,6 +755,8 @@ main(int argc, char **argv)
             return cmdInfer(args);
         if (cmd == "audit")
             return cmdAudit(args);
+        if (cmd == "serve")
+            return cmdServe(args);
         usage(("unknown command: " + cmd).c_str());
     } catch (const gobo::FatalError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());
