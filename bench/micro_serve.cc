@@ -12,7 +12,9 @@
  * reassociates on AVX2). Both are gated *exactly* by
  * tools/bench_diff.py against the committed baseline, which refuses
  * cross-tier diffs; wall-clock fields (tokens/sec, exec quantiles)
- * are machine-dependent and gated loosely or not at all.
+ * are machine-dependent and gated loosely or not at all. The windowed
+ * `timeline` block (obs/timeline.hh) rides along in the JSON and is
+ * gated window by window the same way.
  *
  * The default trace runs the virtual server near saturation with 4x
  * bursts, so both shed paths (overload at admission, deadline at
@@ -40,6 +42,7 @@
 #include "exec/threadpool.hh"
 #include "kernels/kernels.hh"
 #include "model/generate.hh"
+#include "obs/timeline.hh"
 #include "serve/loadgen.hh"
 #include "serve/server.hh"
 #include "util/rng.hh"
@@ -174,8 +177,9 @@ main(int argc, char **argv)
     t.addRow({"tokens/sec (wall)",
               ConsoleTable::num(sum.tokensPerSec, 0)});
     t.print(std::cout);
-    std::printf("\nresponse checksum 0x%016llx\n",
+    std::printf("\nresponse checksum 0x%016llx\n\n",
                 static_cast<unsigned long long>(sum.responseChecksum));
+    printWorstShedWindows(sum.timeline, 3, std::cout);
 
     ServeReportMeta meta;
     meta.trace = traceSpecString(*spec);

@@ -199,6 +199,17 @@ InferenceSession::encodeBatch(const TokenBatch &batch) const
 std::vector<Tensor>
 InferenceSession::headLogitsBatch(const TokenBatch &batch) const
 {
+    return headLogitsBatch(batch, {});
+}
+
+std::vector<Tensor>
+InferenceSession::headLogitsBatch(
+    const TokenBatch &batch,
+    std::span<const std::uint64_t> requestIds) const
+{
+    fatalIf(!requestIds.empty() && requestIds.size() != batch.size(),
+            "headLogitsBatch: ", requestIds.size(), " request ids for ",
+            batch.size(), " sequences");
     BatchProbe probe(ctx.obs, "session.headLogitsBatch");
     recordKernelTier(ctx);
     std::vector<Tensor> out(batch.size());
@@ -206,6 +217,8 @@ InferenceSession::headLogitsBatch(const TokenBatch &batch) const
     ctx.parallelFor(batch.size(), [&](std::size_t i) {
         SequenceProbe seq_probe(inner.obs, batch[i].size());
         ScopedSpan span(inner.obs, "sequence", i);
+        if (!requestIds.empty())
+            span.arg("request", requestIds[i]);
         if (quantized) {
             out[i] = quantized->classify(inner, batch[i]);
         } else {

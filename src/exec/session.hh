@@ -108,6 +108,17 @@ class InferenceSession
     /** headLogits over a batch, parallel across sequences. */
     std::vector<Tensor> headLogitsBatch(const TokenBatch &batch) const;
 
+    /**
+     * headLogitsBatch with request correlation: `requestIds[i]` is
+     * stamped onto lane i's "sequence" trace span as a "request" arg,
+     * so a serve tile's per-lane spans link back to the requests they
+     * served. Ids are observability-only — the math and scheduling
+     * are identical to the overload above. Must match batch.size().
+     */
+    std::vector<Tensor>
+    headLogitsBatch(const TokenBatch &batch,
+                    std::span<const std::uint64_t> requestIds) const;
+
   private:
     /**
      * Context for the per-sequence forward inside a batched call. The

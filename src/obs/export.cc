@@ -13,7 +13,15 @@ namespace gobo {
 
 namespace {
 
-/** Escape a string for a JSON literal (names are ASCII in practice). */
+/**
+ * Escape a string for a JSON literal. Names are ASCII in practice,
+ * but a hostile or buggy name (control bytes, raw 0x80..0xFF that may
+ * not be valid UTF-8) must still produce *valid* JSON: anything
+ * outside printable ASCII is emitted as a \u00xx escape, so the
+ * output is parseable regardless of what went in. Multi-byte UTF-8
+ * renders as per-byte escapes — ugly but lossless at the byte level
+ * and never malformed.
+ */
 std::string
 jsonEscape(const std::string &s)
 {
@@ -33,14 +41,16 @@ jsonEscape(const std::string &s)
           case '\t':
             out += "\\t";
             break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
+          default: {
+            auto byte = static_cast<unsigned char>(c);
+            if (byte < 0x20 || byte >= 0x7f) {
                 char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                std::snprintf(buf, sizeof buf, "\\u%04x", byte);
                 out += buf;
             } else {
                 out += c;
             }
+          }
         }
     }
     return out;
@@ -72,18 +82,44 @@ void
 writeChromeTrace(const Tracer &tracer, std::ostream &os)
 {
     auto events = tracer.events();
+    auto names = tracer.threadNames();
     os << "{\"traceEvents\": [\n";
-    for (std::size_t i = 0; i < events.size(); ++i) {
-        const TraceEvent &e = events[i];
-        os << "  {\"name\": \"" << jsonEscape(e.name)
+    // Metadata ("ph":"M") first: without process_name/thread_name,
+    // Perfetto shows anonymous numeric tracks and every trace reads
+    // like a different program. tid 0 is the observer's constructing
+    // thread ("main"); pool workers carry their default track names.
+    os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+          "\"args\": {\"name\": \"gobo\"}}";
+    for (const auto &[tid, name] : names)
+        os << ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", "
+              "\"pid\": 1, \"tid\": "
+           << tid << ", \"args\": {\"name\": \"" << jsonEscape(name)
+           << "\"}}";
+    for (const TraceEvent &e : events) {
+        os << ",\n  {\"name\": \"" << jsonEscape(e.name)
            << "\", \"cat\": \"gobo\", \"ph\": \"X\", \"ts\": "
            << jsonNum(e.tsUs) << ", \"dur\": " << jsonNum(e.durUs)
-           << ", \"pid\": 1, \"tid\": " << e.tid << "}"
-           << (i + 1 < events.size() ? "," : "") << "\n";
+           << ", \"pid\": 1, \"tid\": " << e.tid;
+        if (!e.args.empty()) {
+            os << ", \"args\": {";
+            for (std::size_t a = 0; a < e.args.size(); ++a)
+                os << (a ? ", " : "") << "\""
+                   << jsonEscape(e.args[a].first)
+                   << "\": " << e.args[a].second;
+            os << "}";
+        }
+        os << "}";
     }
-    os << "],\n\"displayTimeUnit\": \"ms\"";
-    if (std::uint64_t dropped = tracer.droppedEvents())
+    os << "\n],\n\"displayTimeUnit\": \"ms\"";
+    if (std::uint64_t dropped = tracer.droppedEvents()) {
         os << ",\n\"gobo_dropped_events\": " << dropped;
+        // The JSON field is easy to miss; a truncated trace silently
+        // misleads whoever loads it, so say so where humans look.
+        std::fprintf(stderr,
+                     "warning: trace dropped %llu events (per-thread "
+                     "buffer full); the exported trace is incomplete\n",
+                     static_cast<unsigned long long>(dropped));
+    }
     os << "}\n";
 }
 
@@ -174,6 +210,13 @@ appendScratchCounters(MetricsSnapshot &snap, const ScratchStats &s)
     put("scratch.bytes_reserved", s.bytesReserved);
     put("scratch.decode_row_hits", s.decodeRowHits);
     put("scratch.decode_row_misses", s.decodeRowMisses);
+}
+
+void
+appendTraceCounters(MetricsSnapshot &snap, const Tracer &tracer)
+{
+    snap.counters.push_back(
+        {"trace.dropped_events", tracer.droppedEvents()});
 }
 
 std::vector<SpanSummary>

@@ -58,6 +58,14 @@ void appendPoolCounters(MetricsSnapshot &snap, const PoolTelemetry &pool);
  */
 void appendScratchCounters(MetricsSnapshot &snap, const ScratchStats &s);
 
+/**
+ * Fold tracer health into `snap` as `trace.*` counters — today just
+ * `trace.dropped_events`, the spans discarded because a per-thread
+ * buffer filled. Nonzero means every trace-derived number (span
+ * summaries, Chrome export) undercounts.
+ */
+void appendTraceCounters(MetricsSnapshot &snap, const Tracer &tracer);
+
 /** Aggregate of every span sharing one name. */
 struct SpanSummary
 {

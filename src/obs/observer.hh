@@ -64,6 +64,10 @@ class Observer
           serveQueueWaitUs(metrics.histogram("serve.queue_wait_us",
                                              latencyBoundsUs()))
     {
+        // The constructing thread is the run's main thread: naming its
+        // track here is what lets the Chrome trace distinguish it from
+        // the pool workers (which render as "worker-<tid>").
+        tracer.nameThread("main");
     }
 
     MetricsRegistry metrics;
@@ -214,16 +218,31 @@ class ScopedSpan
     ScopedSpan(const ScopedSpan &) = delete;
     ScopedSpan &operator=(const ScopedSpan &) = delete;
 
+    /**
+     * Annotate the span with a key=value arg ("request": 17) rendered
+     * into the Chrome trace's args object — request/batch correlation
+     * for serve spans. One branch with a null observer, like the
+     * constructor.
+     */
+    void
+    arg(const char *key, std::uint64_t value)
+    {
+        if (obs)
+            spanArgs.emplace_back(key, value);
+    }
+
     ~ScopedSpan()
     {
         if (obs)
             obs->tracer.record(std::move(spanName), beginUs,
-                               obs->tracer.nowUs() - beginUs);
+                               obs->tracer.nowUs() - beginUs,
+                               std::move(spanArgs));
     }
 
   private:
     Observer *obs;
     std::string spanName;
+    std::vector<TraceArg> spanArgs;
     double beginUs = 0.0;
 };
 

@@ -1,0 +1,396 @@
+#include "obs/timeline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <unordered_set>
+
+#include "obs/metrics.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace gobo {
+
+const char *
+shedCauseName(ShedCause c)
+{
+    switch (c) {
+      case ShedCause::None:
+        return "none";
+      case ShedCause::Overload:
+        return "overload";
+      case ShedCause::Deadline:
+        return "deadline";
+    }
+    return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity,
+                               std::size_t shedCapacity)
+    : capacity(capacity), shedCapacity(shedCapacity)
+{
+    // Reserve up front: record() on the serve hot loop must never
+    // allocate once the rings are warm.
+    ring.reserve(capacity);
+    shedRing.reserve(shedCapacity);
+}
+
+void
+FlightRecorder::record(const RequestRecord &r)
+{
+    if (capacity == 0)
+        return;
+    ++total;
+    if (ring.size() < capacity)
+        ring.push_back(r);
+    else {
+        ring[cursor] = r;
+        cursor = (cursor + 1) % capacity;
+    }
+    if (r.shed != ShedCause::None && shedCapacity != 0) {
+        if (shedRing.size() < shedCapacity)
+            shedRing.push_back(r);
+        else {
+            shedRing[shedCursor] = r;
+            shedCursor = (shedCursor + 1) % shedCapacity;
+        }
+    }
+}
+
+std::vector<RequestRecord>
+FlightRecorder::tail() const
+{
+    std::vector<RequestRecord> out = ring;
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(out.size());
+    for (const RequestRecord &r : out)
+        seen.insert(r.id);
+    // Pinned shed records that already rolled out of the tail ring.
+    for (const RequestRecord &r : shedRing)
+        if (seen.insert(r.id).second)
+            out.push_back(r);
+    std::sort(out.begin(), out.end(),
+              [](const RequestRecord &a, const RequestRecord &b) {
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+TimelineBuilder::TimelineBuilder(TimelineOptions options) : opt(options)
+{
+    fatalIf(opt.windowUs == 0, "timeline: windowUs must be positive");
+    fatalIf(opt.maxWindows == 0, "timeline: maxWindows must be positive");
+}
+
+void
+TimelineBuilder::push(Kind kind, std::uint64_t tUs, std::uint64_t a,
+                      std::uint64_t b)
+{
+    events.push_back(
+        {tUs, static_cast<std::uint64_t>(events.size()), kind, a, b});
+}
+
+void
+TimelineBuilder::arrival(std::uint64_t tUs)
+{
+    push(Kind::Arrival, tUs);
+}
+
+void
+TimelineBuilder::admit(std::uint64_t tUs)
+{
+    push(Kind::Admit, tUs);
+}
+
+void
+TimelineBuilder::shedOverload(std::uint64_t tUs)
+{
+    push(Kind::ShedOverload, tUs);
+}
+
+void
+TimelineBuilder::shedDeadline(std::uint64_t tUs)
+{
+    push(Kind::ShedDeadline, tUs);
+}
+
+void
+TimelineBuilder::dispatch(std::uint64_t tUs, std::size_t lanesFilled,
+                          std::size_t lanesTotal)
+{
+    push(Kind::Dispatch, tUs, lanesFilled, lanesTotal);
+}
+
+void
+TimelineBuilder::complete(std::uint64_t tUs, std::uint64_t queueWaitUs)
+{
+    push(Kind::Complete, tUs, queueWaitUs);
+}
+
+void
+TimelineBuilder::batchComplete(std::uint64_t tUs, std::uint64_t tokens)
+{
+    push(Kind::BatchComplete, tUs, tokens);
+}
+
+TimelineSeries
+TimelineBuilder::build() const
+{
+    TimelineSeries series;
+    series.windowUs = opt.windowUs;
+    if (events.empty())
+        return series;
+
+    // Emission order is not time order (a tile's completion event is
+    // emitted when the dispatch computes it); sorting by (timestamp,
+    // emission seq) restores the virtual-time order while reproducing
+    // the server's same-instant semantics — the server emits the
+    // earlier-retiring event first, so at equal timestamps seq order
+    // IS the completions-before-next-dispatch tie-break.
+    std::vector<Event> ordered = events;
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Event &a, const Event &b) {
+                  return a.tUs != b.tUs ? a.tUs < b.tUs : a.seq < b.seq;
+              });
+
+    series.spanUs = ordered.back().tUs;
+    std::size_t wanted = static_cast<std::size_t>(
+                             series.spanUs / opt.windowUs)
+                         + 1;
+    std::size_t nwin = std::min(wanted, opt.maxWindows);
+    series.clamped = wanted > opt.maxWindows;
+
+    auto windowOf = [&](std::uint64_t tUs) {
+        return std::min<std::size_t>(tUs / opt.windowUs, nwin - 1);
+    };
+
+    series.windows.resize(nwin);
+    for (std::size_t w = 0; w < nwin; ++w) {
+        series.windows[w].index = w;
+        series.windows[w].startUs = w * opt.windowUs;
+    }
+
+    // Per-window queue-wait buckets, allocated lazily: the series is
+    // bounded by maxWindows, and most windows of a healthy run
+    // complete something, so this is at most nwin * (bounds + 1)
+    // slots. Bucketing mirrors MetricsRegistry::observe exactly
+    // (lower_bound over the shared latency bounds) so a window's
+    // quantiles agree with what a per-window histogram would report.
+    const std::vector<double> bounds = latencyBoundsUs();
+    std::vector<std::vector<std::uint64_t>> waitBuckets(nwin);
+    std::vector<double> waitSums(nwin, 0.0);
+
+    // Queue-depth integral per window, in depth-microseconds. Integer
+    // accumulation keeps it exactly reproducible; one window holds at
+    // most windowUs * maxDepth, far inside u64.
+    std::vector<std::uint64_t> depthIntegral(nwin, 0);
+    std::uint64_t depth = 0;
+    std::uint64_t lastUs = 0;
+    auto integrate = [&](std::uint64_t toUs) {
+        while (lastUs < toUs) {
+            std::size_t w = windowOf(lastUs);
+            std::uint64_t edge =
+                w + 1 == nwin
+                    ? toUs
+                    : std::min<std::uint64_t>(
+                          toUs, (static_cast<std::uint64_t>(w) + 1)
+                                    * opt.windowUs);
+            depthIntegral[w] += (edge - lastUs) * depth;
+            lastUs = edge;
+        }
+    };
+
+    for (const Event &e : ordered) {
+        TimelineWindow &win = series.windows[windowOf(e.tUs)];
+        switch (e.kind) {
+          case Kind::Arrival:
+            ++win.arrivals;
+            break;
+          case Kind::Admit:
+            ++win.admitted;
+            integrate(e.tUs);
+            ++depth;
+            break;
+          case Kind::ShedOverload:
+            ++win.shedOverload;
+            break;
+          case Kind::ShedDeadline:
+            ++win.shedDeadline;
+            integrate(e.tUs);
+            --depth;
+            break;
+          case Kind::Dispatch:
+            ++win.batches;
+            win.lanesFilled += e.a;
+            win.lanesTotal += e.b;
+            break;
+          case Kind::Complete: {
+            ++win.completed;
+            integrate(e.tUs);
+            --depth;
+            std::size_t w = windowOf(e.tUs);
+            if (waitBuckets[w].empty())
+                waitBuckets[w].assign(bounds.size() + 1, 0);
+            auto it = std::lower_bound(bounds.begin(), bounds.end(),
+                                       static_cast<double>(e.a));
+            ++waitBuckets[w][static_cast<std::size_t>(
+                it - bounds.begin())];
+            waitSums[w] += static_cast<double>(e.a);
+            break;
+          }
+          case Kind::BatchComplete:
+            win.tokens += e.a;
+            break;
+        }
+    }
+
+    double windowSec = static_cast<double>(opt.windowUs) * 1e-6;
+    for (std::size_t w = 0; w < nwin; ++w) {
+        TimelineWindow &win = series.windows[w];
+        win.tokensPerSec = static_cast<double>(win.tokens) / windowSec;
+        // Depth after the final event contributes nothing (the serve
+        // loop drains to zero before build()), so dividing by the full
+        // window width is exact for every window including the last.
+        win.meanQueueDepth = static_cast<double>(depthIntegral[w])
+                             / static_cast<double>(opt.windowUs);
+        win.occupancy =
+            win.lanesTotal
+                ? static_cast<double>(win.lanesFilled)
+                      / static_cast<double>(win.lanesTotal)
+                : 0.0;
+        HistogramSnapshot h;
+        h.bounds = bounds;
+        if (!waitBuckets[w].empty()) {
+            h.counts = waitBuckets[w];
+            h.count = win.completed;
+            h.sum = waitSums[w];
+        } else {
+            h.counts.assign(bounds.size() + 1, 0);
+        }
+        win.queueWaitP50Us = h.quantile(0.50);
+        win.queueWaitP99Us = h.quantile(0.99);
+    }
+    return series;
+}
+
+namespace {
+
+/** Shortest-roundtrip double for JSON; NaN (empty-window quantile)
+ * becomes null — matches writeServeJson's convention. */
+std::string
+jnum(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+writeTimelineWindows(const TimelineSeries &series, std::ostream &os,
+                     int indent)
+{
+    std::string pad(static_cast<std::size_t>(indent), ' ');
+    os << "[";
+    for (std::size_t i = 0; i < series.windows.size(); ++i) {
+        const TimelineWindow &w = series.windows[i];
+        os << (i ? ",\n" : "\n") << pad << "{\"window\": " << w.index
+           << ", \"start_us\": " << w.startUs
+           << ", \"arrivals\": " << w.arrivals
+           << ", \"admitted\": " << w.admitted
+           << ", \"completed\": " << w.completed
+           << ", \"shed_overload\": " << w.shedOverload
+           << ", \"shed_deadline\": " << w.shedDeadline
+           << ", \"batches\": " << w.batches
+           << ", \"lanes_filled\": " << w.lanesFilled
+           << ", \"lanes_total\": " << w.lanesTotal
+           << ", \"tokens\": " << w.tokens
+           << ", \"tokens_per_sec\": " << jnum(w.tokensPerSec)
+           << ", \"mean_queue_depth\": " << jnum(w.meanQueueDepth)
+           << ", \"occupancy\": " << jnum(w.occupancy)
+           << ", \"queue_wait_us\": {\"p50\": " << jnum(w.queueWaitP50Us)
+           << ", \"p99\": " << jnum(w.queueWaitP99Us) << "}}";
+    }
+    os << "]";
+}
+
+void
+printTimeline(const TimelineSeries &series, std::ostream &os)
+{
+    double maxDepth = 0.0;
+    for (const TimelineWindow &w : series.windows)
+        maxDepth = std::max(maxDepth, w.meanQueueDepth);
+
+    ConsoleTable t({"Win", "t0 s", "Arr", "Done", "ShedO", "ShedD",
+                    "Tiles", "Occ", "Tok/s", "p99 wait ms", "Depth",
+                    ""});
+    for (const TimelineWindow &w : series.windows) {
+        // 24-char bar scaled to the busiest window: the at-a-glance
+        // queue-pressure profile of the whole run.
+        std::size_t bar =
+            maxDepth > 0.0
+                ? static_cast<std::size_t>(
+                      std::lround(w.meanQueueDepth / maxDepth * 24.0))
+                : 0;
+        t.addRow({std::to_string(w.index),
+                  ConsoleTable::num(
+                      static_cast<double>(w.startUs) * 1e-6, 1),
+                  std::to_string(w.arrivals),
+                  std::to_string(w.completed),
+                  std::to_string(w.shedOverload),
+                  std::to_string(w.shedDeadline),
+                  std::to_string(w.batches),
+                  ConsoleTable::num(w.occupancy, 3),
+                  ConsoleTable::num(w.tokensPerSec, 0),
+                  std::isfinite(w.queueWaitP99Us)
+                      ? ConsoleTable::num(w.queueWaitP99Us / 1e3, 1)
+                      : "-",
+                  ConsoleTable::num(w.meanQueueDepth, 1),
+                  std::string(bar, '#')});
+    }
+    t.print(os);
+    if (series.clamped)
+        os << "(series clamped at " << series.windows.size()
+           << " windows; tail folded into the last)\n";
+}
+
+void
+printWorstShedWindows(const TimelineSeries &series, std::size_t worst,
+                      std::ostream &os)
+{
+    std::vector<const TimelineWindow *> shedding;
+    for (const TimelineWindow &w : series.windows)
+        if (w.shedOverload + w.shedDeadline > 0)
+            shedding.push_back(&w);
+    if (shedding.empty())
+        return;
+    std::stable_sort(shedding.begin(), shedding.end(),
+                     [](const TimelineWindow *a, const TimelineWindow *b) {
+                         return a->shedOverload + a->shedDeadline
+                                > b->shedOverload + b->shedDeadline;
+                     });
+    if (shedding.size() > worst)
+        shedding.resize(worst);
+
+    os << "worst shed windows:\n";
+    ConsoleTable t({"Win", "t0 s", "ShedO", "ShedD", "Arr", "Depth",
+                    "p99 wait ms"});
+    for (const TimelineWindow *w : shedding)
+        t.addRow({std::to_string(w->index),
+                  ConsoleTable::num(
+                      static_cast<double>(w->startUs) * 1e-6, 1),
+                  std::to_string(w->shedOverload),
+                  std::to_string(w->shedDeadline),
+                  std::to_string(w->arrivals),
+                  ConsoleTable::num(w->meanQueueDepth, 1),
+                  std::isfinite(w->queueWaitP99Us)
+                      ? ConsoleTable::num(w->queueWaitP99Us / 1e3, 1)
+                      : "-"});
+    t.print(os);
+}
+
+} // namespace gobo

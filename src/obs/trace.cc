@@ -70,6 +70,13 @@ Tracer::localBuffer()
 void
 Tracer::record(std::string name, double ts_us, double dur_us)
 {
+    record(std::move(name), ts_us, dur_us, {});
+}
+
+void
+Tracer::record(std::string name, double ts_us, double dur_us,
+               std::vector<TraceArg> args)
+{
     Buffer &buf = localBuffer();
     std::lock_guard lock(buf.mutex);
     if (buf.events.size() >= maxEventsPerThread) {
@@ -77,7 +84,15 @@ Tracer::record(std::string name, double ts_us, double dur_us)
         return;
     }
     buf.events.push_back(
-        {std::move(name), ts_us, dur_us, buf.tid});
+        {std::move(name), ts_us, dur_us, buf.tid, std::move(args)});
+}
+
+void
+Tracer::nameThread(std::string name)
+{
+    Buffer &buf = localBuffer();
+    std::lock_guard lock(buf.mutex);
+    buf.name = std::move(name);
 }
 
 std::vector<TraceEvent>
@@ -94,6 +109,23 @@ Tracer::events() const
                          return a.tsUs < b.tsUs;
                      });
     return all;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>>
+Tracer::threadNames() const
+{
+    std::vector<std::pair<std::uint32_t, std::string>> names;
+    std::lock_guard lock(mutex);
+    names.reserve(buffers.size());
+    for (const auto &buf : buffers) {
+        std::lock_guard buf_lock(buf->mutex);
+        names.emplace_back(buf->tid,
+                           buf->name.empty()
+                               ? "worker-" + std::to_string(buf->tid)
+                               : buf->name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
 }
 
 std::uint64_t

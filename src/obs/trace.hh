@@ -27,9 +27,15 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gobo {
+
+/** One key=value annotation on a span ("request": 17, "batch": 3).
+ * Rendered into the Chrome trace's "args" object, which is what makes
+ * a serve span clickable back to the request it served. */
+using TraceArg = std::pair<std::string, std::uint64_t>;
 
 /** One completed span on one thread. */
 struct TraceEvent
@@ -38,6 +44,7 @@ struct TraceEvent
     double tsUs = 0.0;  ///< start, microseconds since tracer epoch.
     double durUs = 0.0; ///< duration in microseconds.
     std::uint32_t tid = 0; ///< tracer-assigned thread track.
+    std::vector<TraceArg> args; ///< empty for unannotated spans.
 };
 
 /** Collects spans from every thread; epoch starts at construction. */
@@ -59,8 +66,24 @@ class Tracer
     /** Record one completed span on the calling thread's track. */
     void record(std::string name, double ts_us, double dur_us);
 
+    /** Record a span with key=value annotations (see TraceArg). */
+    void record(std::string name, double ts_us, double dur_us,
+                std::vector<TraceArg> args);
+
+    /**
+     * Label the calling thread's track ("main"). Unnamed tracks render
+     * as "worker-<tid>" in the Chrome trace metadata; pool workers
+     * never call this (exec cannot link obs), so the export's default
+     * is what names them.
+     */
+    void nameThread(std::string name);
+
     /** Every recorded span, merged across threads, sorted by start. */
     std::vector<TraceEvent> events() const;
+
+    /** (tid, name) per thread track; unnamed tracks get "worker-<tid>".
+     * Sorted by tid — the Chrome metadata events come from this. */
+    std::vector<std::pair<std::uint32_t, std::string>> threadNames() const;
 
     /** Spans discarded because a thread buffer was full. */
     std::uint64_t droppedEvents() const;
@@ -74,6 +97,7 @@ class Tracer
         std::vector<TraceEvent> events;
         std::uint64_t dropped = 0;
         std::uint32_t tid = 0;
+        std::string name; ///< empty until nameThread labels the track.
     };
 
     /** The calling thread's buffer, created on first use. */

@@ -42,6 +42,7 @@
 
 #include "exec/session.hh"
 #include "obs/metrics.hh"
+#include "obs/timeline.hh"
 #include "serve/loadgen.hh"
 #include "tensor/tensor.hh"
 
@@ -91,6 +92,17 @@ struct ServeOptions
     double serviceTokensPerSec = 4000.0;
     /** Virtual fixed cost per dispatched tile. */
     std::uint64_t batchOverheadUs = 200;
+    /** Width of one timeline window (virtual µs) in the per-run
+     * windowed series (ServeSummary::timeline). */
+    std::uint64_t timelineWindowUs = 1000000;
+    /** Timeline windows cap; the tail folds into the last window. */
+    std::size_t timelineMaxWindows = 4096;
+    /** Flight-recorder tail ring: last N terminal request records kept
+     * for postmortems. 0 disables the recorder entirely. */
+    std::size_t recorderCapacity = 256;
+    /** Flight-recorder shed ring: shed records additionally pinned
+     * here so they survive being rolled out of the tail. */
+    std::size_t recorderShedCapacity = 256;
     /** Span/counter sink; null disables the serve.* span taxonomy. */
     Observer *obs = nullptr;
 };
@@ -141,6 +153,11 @@ struct ServeSummary
      * differ across tiers even for quantized engines. bench_diff
      * refuses cross-tier comparisons for exactly this reason. */
     std::uint64_t responseChecksum = 0;
+
+    /** Windowed virtual-time series (obs/timeline.hh): deterministic
+     * for fixed (trace, options), exactly gateable like the counters
+     * above. Window width comes from ServeOptions::timelineWindowUs. */
+    TimelineSeries timeline;
 };
 
 /** Everything runTrace() produces. */
@@ -149,6 +166,13 @@ struct ServeRun
     /** One response per trace request, indexed by request id. */
     std::vector<ServeResponse> responses;
     ServeSummary summary;
+    /** Flight-recorder tail: the last recorderCapacity terminal
+     * request records plus pinned shed records, sorted by id. Empty
+     * when recorderCapacity == 0. */
+    std::vector<RequestRecord> flightRecords;
+    /** Lifecycle records ever handed to the recorder (>= the tail's
+     * size once the rings wrap). */
+    std::uint64_t flightRecorded = 0;
 };
 
 /**
@@ -206,6 +230,17 @@ struct ServeReportMeta
  */
 void writeServeJson(const ServeSummary &sum, const ServeOptions &opt,
                     const ServeReportMeta &meta, std::ostream &os);
+
+/**
+ * Write the standalone gobo-timeline-v1 document (`gobo serve
+ * --timeline-out`): format marker, the same environment/options stamp
+ * as writeServeJson, the windowed series, and the flight-recorder
+ * tail. Window objects are byte-identical to the BENCH_serve.json
+ * `timeline` block (both go through writeTimelineWindows). Lifecycle
+ * timestamps that never happened (kNeverUs) are emitted as null.
+ */
+void writeTimelineJson(const ServeRun &run, const ServeOptions &opt,
+                       const ServeReportMeta &meta, std::ostream &os);
 
 } // namespace gobo
 

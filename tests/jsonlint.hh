@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Minimal strict JSON validator for tests. The exporters promise
+ * *valid* JSON for arbitrary input bytes (hostile names, NaN
+ * quantiles, never-happened timestamps); the brace-counting checks the
+ * older tests use cannot catch an unescaped control character or a
+ * bare `nan` token, so exporter tests validate with a real grammar.
+ * Accepts exactly RFC 8259 (any byte >= 0x20 except `"` and `\` may
+ * appear raw inside strings), rejects trailing garbage.
+ */
+
+#ifndef GOBO_TESTS_JSONLINT_HH
+#define GOBO_TESTS_JSONLINT_HH
+
+#include <cstddef>
+#include <string_view>
+
+namespace gobo {
+namespace jsonlint {
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : s(text) {}
+
+    bool
+    parse()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos == s.size();
+    }
+
+  private:
+    static constexpr int maxDepth = 128;
+
+    bool
+    eof() const
+    {
+        return pos >= s.size();
+    }
+
+    char
+    peek() const
+    {
+        return s[pos];
+    }
+
+    bool
+    consume(char c)
+    {
+        if (eof() || s[pos] != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (!eof() && (s[pos] == ' ' || s[pos] == '\t'
+                          || s[pos] == '\n' || s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (s.substr(pos, word.size()) != word)
+            return false;
+        pos += word.size();
+        return true;
+    }
+
+    static bool
+    isDigit(char c)
+    {
+        return c >= '0' && c <= '9';
+    }
+
+    static bool
+    isHex(char c)
+    {
+        return isDigit(c) || (c >= 'a' && c <= 'f')
+               || (c >= 'A' && c <= 'F');
+    }
+
+    bool
+    string()
+    {
+        if (!consume('"'))
+            return false;
+        while (!eof()) {
+            char c = s[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control byte: must be escaped
+            if (c == '\\') {
+                if (eof())
+                    return false;
+                char e = s[pos++];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i)
+                        if (eof() || !isHex(s[pos++]))
+                            return false;
+                } else if (e != '"' && e != '\\' && e != '/' && e != 'b'
+                           && e != 'f' && e != 'n' && e != 'r'
+                           && e != 't') {
+                    return false;
+                }
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool
+    number()
+    {
+        consume('-');
+        if (eof() || !isDigit(peek()))
+            return false;
+        if (!consume('0'))
+            while (!eof() && isDigit(peek()))
+                ++pos;
+        if (consume('.')) {
+            if (eof() || !isDigit(peek()))
+                return false;
+            while (!eof() && isDigit(peek()))
+                ++pos;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos;
+            if (!consume('+'))
+                consume('-');
+            if (eof() || !isDigit(peek()))
+                return false;
+            while (!eof() && isDigit(peek()))
+                ++pos;
+        }
+        return true;
+    }
+
+    bool
+    object()
+    {
+        if (!consume('{'))
+            return false;
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return false;
+            if (!value())
+                return false;
+            skipWs();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        if (!consume('['))
+            return false;
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            if (!value())
+                return false;
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool
+    value()
+    {
+        if (++depth > maxDepth)
+            return false;
+        skipWs();
+        bool ok;
+        if (eof())
+            ok = false;
+        else if (peek() == '{')
+            ok = object();
+        else if (peek() == '[')
+            ok = array();
+        else if (peek() == '"')
+            ok = string();
+        else if (peek() == 't')
+            ok = literal("true");
+        else if (peek() == 'f')
+            ok = literal("false");
+        else if (peek() == 'n')
+            ok = literal("null");
+        else
+            ok = number();
+        --depth;
+        return ok;
+    }
+
+    std::string_view s;
+    std::size_t pos = 0;
+    int depth = 0;
+};
+
+} // namespace jsonlint
+
+/** True iff `text` is one complete, valid JSON document. */
+inline bool
+jsonValid(std::string_view text)
+{
+    return jsonlint::Parser(text).parse();
+}
+
+} // namespace gobo
+
+#endif // GOBO_TESTS_JSONLINT_HH

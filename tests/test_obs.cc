@@ -18,6 +18,7 @@
 
 #include "core/qexec.hh"
 #include "exec/session.hh"
+#include "jsonlint.hh"
 #include "model/generate.hh"
 #include "obs/export.hh"
 #include "obs/observer.hh"
@@ -303,6 +304,97 @@ TEST(Export, ChromeTraceIsWellFormedJson)
     }
     EXPECT_EQ(braces, 0);
     EXPECT_EQ(brackets, 0);
+}
+
+TEST(Export, HostileNamesStillProduceValidJson)
+{
+    // Metric names are ASCII in practice, but the exporters promise
+    // valid JSON for *any* bytes: control characters, quotes,
+    // backslashes, and non-ASCII UTF-8 must all escape rather than
+    // corrupt the document.
+    MetricsRegistry reg;
+    reg.add(reg.counter("ctl\x01|quote\"|back\\|nl\n|tab\t|caf\xc3\xa9"),
+            7);
+    auto snap = reg.snapshot();
+    std::ostringstream json;
+    writeMetricsJson(snap, json);
+    const std::string doc = json.str();
+    EXPECT_TRUE(jsonValid(doc)) << doc;
+    EXPECT_NE(doc.find("\\u0001"), std::string::npos);
+    EXPECT_NE(doc.find("\\\""), std::string::npos);
+    EXPECT_NE(doc.find("\\\\"), std::string::npos);
+    EXPECT_NE(doc.find("\\n"), std::string::npos);
+    EXPECT_NE(doc.find("\\t"), std::string::npos);
+    // The two bytes of U+00E9 escape per byte: lossless, never
+    // malformed even if the input was not valid UTF-8.
+    EXPECT_NE(doc.find("\\u00c3"), std::string::npos);
+    EXPECT_NE(doc.find("\\u00a9"), std::string::npos);
+
+    // Same contract through the trace exporter's span names.
+    Observer obs;
+    { ScopedSpan span(&obs, "bad\x02name\"\\\xc3\xa9"); }
+    std::ostringstream trace;
+    writeChromeTrace(obs.tracer, trace);
+    EXPECT_TRUE(jsonValid(trace.str())) << trace.str();
+    EXPECT_NE(trace.str().find("\\u0002"), std::string::npos);
+}
+
+TEST(Export, ChromeTraceMetadataNamesTracks)
+{
+    Observer obs; // ctor names the constructing thread's track "main"
+    { ScopedSpan span(&obs, "on-main"); }
+    std::thread([&] { obs.tracer.record("on-worker", 0.0, 1.0); })
+        .join();
+
+    std::ostringstream os;
+    writeChromeTrace(obs.tracer, os);
+    const std::string doc = os.str();
+    EXPECT_TRUE(jsonValid(doc)) << doc;
+    EXPECT_NE(doc.find("{\"name\": \"process_name\", \"ph\": \"M\", "
+                       "\"pid\": 1, \"args\": {\"name\": \"gobo\"}}"),
+              std::string::npos);
+    EXPECT_NE(doc.find("{\"name\": \"thread_name\", \"ph\": \"M\", "
+                       "\"pid\": 1, \"tid\": 0, "
+                       "\"args\": {\"name\": \"main\"}}"),
+              std::string::npos);
+    // Unnamed tracks (pool workers never call nameThread) default.
+    EXPECT_NE(doc.find("\"args\": {\"name\": \"worker-1\"}"),
+              std::string::npos);
+}
+
+TEST(Export, SpanArgsRenderIntoChromeTrace)
+{
+    Observer obs;
+    {
+        ScopedSpan span(&obs, "serve.admit");
+        span.arg("request", 17);
+        span.arg("batch", 3);
+    }
+    {
+        ScopedSpan plain(&obs, "unannotated");
+    }
+    std::ostringstream os;
+    writeChromeTrace(obs.tracer, os);
+    const std::string doc = os.str();
+    EXPECT_TRUE(jsonValid(doc)) << doc;
+    EXPECT_NE(doc.find("\"args\": {\"request\": 17, \"batch\": 3}"),
+              std::string::npos);
+    // Unannotated spans carry no args object at all: from the span
+    // name to the end of its event object, "args" never appears.
+    std::size_t at = doc.find("\"unannotated\"");
+    ASSERT_NE(at, std::string::npos);
+    std::string event = doc.substr(at, doc.find('}', at) - at);
+    EXPECT_EQ(event.find("args"), std::string::npos) << event;
+}
+
+TEST(Export, TraceCountersSurfaceDroppedEvents)
+{
+    Observer obs;
+    { ScopedSpan span(&obs, "kept"); }
+    MetricsSnapshot snap = obs.metrics.snapshot();
+    appendTraceCounters(snap, obs.tracer);
+    ASSERT_NE(snap.findCounter("trace.dropped_events"), nullptr);
+    EXPECT_EQ(snap.findCounter("trace.dropped_events")->value, 0u);
 }
 
 TEST(Export, MetricsConsoleAndJson)

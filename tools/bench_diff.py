@@ -26,12 +26,16 @@ the committed bench/baseline/BENCH_forward.json) on three axes:
 
 micro_serve — the deterministic block (response_checksum, shed and
 batch counts, lane accounting, tile occupancy, virtual latency and
-queue-wait quantiles, per-band stats) is a pure function of (trace,
-options), so any difference is an exact FAIL (floats compared at
-1e-6 relative). Wall-clock fields are machine-dependent:
-tokens_per_sec gates loosely at `--tps-tol`, batch_exec_us is printed
-FYI only. Files from different traces or admission options are
-refused, like tier/thread mismatches.
+queue-wait quantiles, per-band stats, and the windowed `timeline`
+series) is a pure function of (trace, options), so any difference is
+an exact FAIL (floats compared at 1e-6 relative). Every timeline
+window gates individually: counts exactly, derived rates/depths/
+quantiles at the float epsilon. Wall-clock fields are
+machine-dependent: tokens_per_sec gates loosely at `--tps-tol`,
+batch_exec_us is printed FYI only. Files from different traces or
+admission options are refused, like tier/thread mismatches; a
+baseline that predates the timeline block skips that gate with a
+note, while a candidate that *lost* the block fails.
 
 Both files must have been produced by the same SIMD kernel tier
 (`kernel_tier` in the JSON; files from before the field read as
@@ -243,6 +247,52 @@ def close(a, b, eps=SERVE_EPS):
     return abs(a - b) <= eps * max(1.0, abs(a), abs(b))
 
 
+# Per-window timeline fields: counts gate exactly, derived floats at
+# SERVE_EPS (they only exist to save consumers a division).
+TIMELINE_INT_KEYS = ("start_us", "arrivals", "admitted", "completed",
+                     "shed_overload", "shed_deadline", "batches",
+                     "lanes_filled", "lanes_total", "tokens")
+TIMELINE_FLOAT_KEYS = ("tokens_per_sec", "mean_queue_depth",
+                       "occupancy")
+
+
+def diff_timeline(tl_b, tl_c):
+    """Exact-gate the windowed series; every window must match."""
+    failures = []
+    for key in ("window_us", "clamped"):
+        if tl_b.get(key) != tl_c.get(key):
+            failures.append(
+                f"timeline.{key}: {tl_b.get(key)} -> {tl_c.get(key)} "
+                f"(deterministic field)")
+    wb, wc = tl_b.get("windows", []), tl_c.get("windows", [])
+    if len(wb) != len(wc):
+        failures.append(
+            f"timeline window count: {len(wb)} -> {len(wc)} "
+            f"(deterministic field)")
+    bad = 0
+    for b, c in zip(wb, wc):
+        diffs = []
+        for key in TIMELINE_INT_KEYS:
+            if b.get(key) != c.get(key):
+                diffs.append(f"{key} {b.get(key)} -> {c.get(key)}")
+        for key in TIMELINE_FLOAT_KEYS:
+            if not close(b.get(key), c.get(key)):
+                diffs.append(f"{key} {b.get(key)} -> {c.get(key)}")
+        for q in ("p50", "p99"):
+            vb = (b.get("queue_wait_us") or {}).get(q)
+            vc = (c.get("queue_wait_us") or {}).get(q)
+            if not close(vb, vc):
+                diffs.append(f"queue_wait_us.{q} {vb} -> {vc}")
+        if diffs:
+            bad += 1
+            failures.append(
+                f"timeline window {b.get('window')}: "
+                + ", ".join(diffs))
+    mark = "  <-- FAIL" if bad or len(wb) != len(wc) else ""
+    print(f"  timeline: {len(wc)} windows, {bad} differing{mark}")
+    return failures
+
+
 def diff_serve(base, cand, args):
     failures = []
 
@@ -316,6 +366,22 @@ def diff_serve(base, cand, args):
             mark = "  <-- FAIL"
         print(f"  band {band}: {c['requests']} req, {c['batches']} "
               f"tiles, occupancy {c['occupancy']:.4f}{mark}")
+
+    # Timeline block: deterministic like everything above, gated
+    # window by window. Baselines from before the block existed skip
+    # with a note; a candidate that lost the block is a regression.
+    tl_b, tl_c = base.get("timeline"), cand.get("timeline")
+    if tl_b is None and tl_c is None:
+        print("  timeline: absent in both files (skipped)")
+    elif tl_b is None:
+        print("  timeline: baseline predates the block (skipped; "
+              "regenerate the baseline to gate it)")
+    elif tl_c is None:
+        failures.append(
+            "timeline block missing from candidate (present in "
+            "baseline)")
+    else:
+        failures.extend(diff_timeline(tl_b, tl_c))
 
     # Wall-clock half: loose gate on throughput, FYI on exec times.
     tb = base.get("tokens_per_sec", 0) or 0

@@ -25,8 +25,13 @@
  *                  [--engine fp32|qexec] [--format unpacked|packed]
  *                  [--max-queue N] [--flush-deadline-us N]
  *                  [--deadline-us N] [--band-width N]
- *                  [--service-rate TOK/S] [--json OUT.json]
- *                  [--metrics] [--trace-out OUT.json]
+ *                  [--service-rate TOK/S] [--window-us N]
+ *                  [--recorder-capacity N] [--json OUT.json]
+ *                  [--timeline-out OUT.json] [--metrics]
+ *                  [--metrics-json OUT.json] [--trace-out OUT.json]
+ *   gobo top       model.gobm | model.gobc --trace SPEC
+ *                  [same execution/admission flags as serve]
+ *                  [--window-us N] [--timeline-out OUT.json]
  *
  * `generate` writes a synthetic FP32 checkpoint (see model/generate);
  * `compress` produces the GOBC container and prints the per-layer
@@ -46,7 +51,11 @@
  * and reports completion/shed counts, tile occupancy, and virtual
  * p50/p95/p99 latency; see DESIGN.md §13. Note `infer --trace` writes
  * a Chrome trace, while `serve --trace` *consumes* a load spec —
- * serve's Chrome trace output flag is `--trace-out`.
+ * serve's Chrome trace output flag is `--trace-out`. `serve
+ * --timeline-out` writes the gobo-timeline-v1 document (windowed
+ * virtual-time series + flight-recorder tail; DESIGN.md §14), and
+ * `top` runs the same serve stack but renders that series as a
+ * per-window console view instead of the run summary.
  */
 
 #include <cstdio>
@@ -71,6 +80,7 @@
 #include "obs/audit.hh"
 #include "obs/export.hh"
 #include "obs/observer.hh"
+#include "obs/timeline.hh"
 #include "serve/loadgen.hh"
 #include "serve/server.hh"
 #include "tensor/ops.hh"
@@ -118,8 +128,13 @@ usage(const char *msg = nullptr)
         "                 [--max-queue N] [--flush-deadline-us N]"
         " [--deadline-us N]\n"
         "                 [--band-width N] [--service-rate TOK/S]\n"
-        "                 [--json OUT.json] [--metrics]"
+        "                 [--window-us N] [--recorder-capacity N]\n"
+        "                 [--json OUT.json] [--timeline-out OUT.json]\n"
+        "                 [--metrics] [--metrics-json OUT.json]"
         " [--trace-out OUT.json]\n"
+        "  gobo top       FILE --trace SPEC [serve flags]"
+        " [--window-us N]\n"
+        "                 [--timeline-out OUT.json]\n"
         "\nfamilies: bert-base bert-large distilbert roberta"
         " roberta-large\n"
         "trace spec: n=1000,seed=42,rate=300,len=1:32,long=0.25"
@@ -486,6 +501,7 @@ cmdInfer(const Args &args)
         MetricsSnapshot snap = observer->metrics.snapshot();
         appendPoolCounters(snap, ThreadPool::shared().telemetry());
         appendScratchCounters(snap, scratchStats());
+        appendTraceCounters(snap, observer->tracer);
         if (show_metrics) {
             std::puts("");
             printMetrics(snap, std::cout);
@@ -566,8 +582,16 @@ cmdAudit(const Args &args)
     return 0;
 }
 
-int
-cmdServe(const Args &args)
+/**
+ * Shared front half of `gobo serve` and `gobo top`: parse the
+ * execution-stack and admission flags, load the model, generate the
+ * trace, run it. Fills `sopt` and `meta` for the caller's exports;
+ * `obs` (nullable) is attached to both the execution context and the
+ * serve options.
+ */
+ServeRun
+runServeStack(const Args &args, Observer *obs, ServeOptions &sopt,
+              ServeReportMeta &meta)
 {
     if (args.positional.empty())
         usage("serve needs a model file");
@@ -604,7 +628,6 @@ cmdServe(const Args &args)
                                    : activeKernels();
     ctx.kernels = &kernels;
 
-    ServeOptions sopt;
     sopt.maxQueue =
         static_cast<std::size_t>(parseU64Flag(args, "max-queue", "256"));
     sopt.flushDeadlineUs = parseU64Flag(args, "flush-deadline-us",
@@ -616,14 +639,15 @@ cmdServe(const Args &args)
         args.get("service-rate", "4000"));
     if (sopt.serviceTokensPerSec <= 0.0)
         usage("--service-rate must be positive");
-
-    std::string trace_out = args.get("trace-out", "");
-    bool show_metrics = args.has("metrics");
-    std::optional<Observer> observer;
-    if (!trace_out.empty() || show_metrics) {
-        observer.emplace();
-        ctx.obs = &*observer;
-        sopt.obs = &*observer;
+    sopt.timelineWindowUs = parseU64Flag(args, "window-us", "1000000");
+    if (sopt.timelineWindowUs == 0)
+        usage("--window-us must be positive");
+    sopt.recorderCapacity = static_cast<std::size_t>(
+        parseU64Flag(args, "recorder-capacity", "256"));
+    sopt.recorderShedCapacity = sopt.recorderCapacity;
+    if (obs) {
+        ctx.obs = obs;
+        sopt.obs = obs;
     }
 
     std::ifstream is(path, std::ios::binary);
@@ -654,17 +678,38 @@ cmdServe(const Args &args)
         usage(("unknown engine: " + engine).c_str());
     }
 
-    std::printf("serving trace %s\n",
-                traceSpecString(*spec).c_str());
+    meta.trace = traceSpecString(*spec);
+    meta.kernelTier = kernels.name;
+    meta.threads = ctx.threads;
+    meta.engine = engine;
+    meta.format = engine == "qexec" ? weightFormatName(ctx.weightFormat)
+                                    : "fp32";
+
+    std::printf("serving trace %s\n", meta.trace.c_str());
     std::printf("%s engine (%s weights), %s backend (%zu threads), %s"
                 " kernels\n",
-                engine.c_str(),
-                engine == "qexec" ? weightFormatName(ctx.weightFormat)
-                                  : "fp32",
+                engine.c_str(), meta.format.c_str(),
                 backendName(ctx.backend), ctx.threads, kernels.name);
 
     ServeServer server(*session, sopt);
-    ServeRun run = server.runTrace(trace);
+    return server.runTrace(trace);
+}
+
+int
+cmdServe(const Args &args)
+{
+    std::string trace_out = args.get("trace-out", "");
+    std::string metrics_json_path = args.get("metrics-json", "");
+    bool show_metrics = args.has("metrics");
+    std::optional<Observer> observer;
+    if (!trace_out.empty() || show_metrics
+        || !metrics_json_path.empty())
+        observer.emplace();
+
+    ServeOptions sopt;
+    ServeReportMeta meta;
+    ServeRun run = runServeStack(args, observer ? &*observer : nullptr,
+                                 sopt, meta);
     const ServeSummary &sum = run.summary;
 
     std::printf("\n%llu requests: %llu completed, %llu shed"
@@ -701,21 +746,27 @@ cmdServe(const Args &args)
                 static_cast<unsigned long long>(sum.tokensServed));
     std::printf("response checksum 0x%016llx\n",
                 static_cast<unsigned long long>(sum.responseChecksum));
+    // The postmortem entry point: which windows shed, how hard, and
+    // how deep the queue was. No-op on a shed-free run.
+    std::puts("");
+    printWorstShedWindows(sum.timeline, 5, std::cout);
 
     std::string json_path = args.get("json", "");
     if (!json_path.empty()) {
-        ServeReportMeta meta;
-        meta.trace = traceSpecString(*spec);
-        meta.kernelTier = kernels.name;
-        meta.threads = ctx.threads;
-        meta.engine = engine;
-        meta.format = engine == "qexec"
-                          ? weightFormatName(ctx.weightFormat)
-                          : "fp32";
         std::ofstream os(json_path, std::ios::binary);
         fatalIf(!os, "cannot write ", json_path);
         writeServeJson(sum, sopt, meta, os);
         std::printf("wrote serve JSON to %s\n", json_path.c_str());
+    }
+    std::string timeline_out = args.get("timeline-out", "");
+    if (!timeline_out.empty()) {
+        std::ofstream os(timeline_out, std::ios::binary);
+        fatalIf(!os, "cannot write ", timeline_out);
+        writeTimelineJson(run, sopt, meta, os);
+        std::printf("wrote timeline (%zu windows, %zu flight records)"
+                    " to %s\n",
+                    sum.timeline.windows.size(),
+                    run.flightRecords.size(), timeline_out.c_str());
     }
     if (!trace_out.empty()) {
         std::ofstream os(trace_out, std::ios::binary);
@@ -724,11 +775,43 @@ cmdServe(const Args &args)
         std::printf("wrote %zu trace events to %s\n",
                     observer->tracer.events().size(), trace_out.c_str());
     }
-    if (show_metrics) {
+    if (show_metrics || !metrics_json_path.empty()) {
         MetricsSnapshot snap = observer->metrics.snapshot();
         appendPoolCounters(snap, ThreadPool::shared().telemetry());
-        std::puts("");
-        printMetrics(snap, std::cout);
+        appendTraceCounters(snap, observer->tracer);
+        if (show_metrics) {
+            std::puts("");
+            printMetrics(snap, std::cout);
+        }
+        if (!metrics_json_path.empty()) {
+            std::ofstream os(metrics_json_path, std::ios::binary);
+            fatalIf(!os, "cannot write ", metrics_json_path);
+            writeMetricsJson(snap, os);
+            std::printf("wrote metrics JSON to %s\n",
+                        metrics_json_path.c_str());
+        }
+    }
+    return 0;
+}
+
+int
+cmdTop(const Args &args)
+{
+    ServeOptions sopt;
+    ServeReportMeta meta;
+    ServeRun run = runServeStack(args, nullptr, sopt, meta);
+
+    std::puts("");
+    printTimeline(run.summary.timeline, std::cout);
+    std::puts("");
+    printWorstShedWindows(run.summary.timeline, 5, std::cout);
+
+    std::string timeline_out = args.get("timeline-out", "");
+    if (!timeline_out.empty()) {
+        std::ofstream os(timeline_out, std::ios::binary);
+        fatalIf(!os, "cannot write ", timeline_out);
+        writeTimelineJson(run, sopt, meta, os);
+        std::printf("wrote timeline JSON to %s\n", timeline_out.c_str());
     }
     return 0;
 }
@@ -757,6 +840,8 @@ main(int argc, char **argv)
             return cmdAudit(args);
         if (cmd == "serve")
             return cmdServe(args);
+        if (cmd == "top")
+            return cmdTop(args);
         usage(("unknown command: " + cmd).c_str());
     } catch (const gobo::FatalError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());
