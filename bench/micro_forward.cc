@@ -21,11 +21,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.hh"
 #include "bench/bench_util.hh"
 #include "core/qexec.hh"
 #include "exec/session.hh"
@@ -42,21 +44,8 @@ using namespace gobo::bench;
 
 namespace {
 
-struct Result
-{
-    std::string engine;
-    std::string backend;
-    double tokensPerSec = 0.0;
-    std::size_t residentBytes = 0;
-};
-
-/** One point of the thread-scaling curve (packed engine). */
-struct ScalingPoint
-{
-    std::size_t threads;
-    double tokensPerSec;
-    double speedupVsSerial;
-};
+using Result = benchjson::ForwardResult;
+using ScalingPoint = benchjson::ScalingPoint;
 
 /**
  * Thread counts for the scaling sweep: powers of two from 1 up to
@@ -296,50 +285,24 @@ main(int argc, char **argv)
                    ConsoleTable::num(spans[i].meanUs, 1)});
     st.print(std::cout);
 
-    std::FILE *json = std::fopen(out.c_str(), "w");
+    benchjson::ForwardDoc doc;
+    doc.seqLen = seq_len;
+    doc.batch = batch_size;
+    doc.threads = threads;
+    doc.cores = cores;
+    doc.kernelTier = tier;
+    doc.results = results;
+    doc.scaling = scaling;
+    doc.spans = spans;
+    doc.fp32ParallelSpeedup = speedup;
+    doc.qexecParallelTokensPerSec = q_parallel;
+    doc.packedResidentOverFp32 = static_cast<double>(packed_resident)
+                                 / static_cast<double>(fp32_resident);
+
+    std::ofstream json(out);
     if (json) {
-        std::fprintf(json,
-                     "{\n  \"bench\": \"micro_forward\",\n"
-                     "  \"seq_len\": %zu,\n  \"batch\": %zu,\n"
-                     "  \"threads\": %zu,\n  \"cores\": %zu,\n"
-                     "  \"kernel_tier\": \"%s\",\n"
-                     "  \"results\": [\n",
-                     seq_len, batch_size, threads, cores, tier);
-        for (std::size_t i = 0; i < results.size(); ++i)
-            std::fprintf(json,
-                         "    {\"engine\": \"%s\", \"backend\": \"%s\","
-                         " \"tokens_per_sec\": %.1f,"
-                         " \"resident_bytes\": %zu}%s\n",
-                         results[i].engine.c_str(),
-                         results[i].backend.c_str(),
-                         results[i].tokensPerSec,
-                         results[i].residentBytes,
-                         i + 1 < results.size() ? "," : "");
-        std::fprintf(json, "  ],\n  \"scaling\": [\n");
-        for (std::size_t i = 0; i < scaling.size(); ++i)
-            std::fprintf(json,
-                         "    {\"threads\": %zu,"
-                         " \"tokens_per_sec\": %.1f,"
-                         " \"speedup_vs_serial\": %.3f}%s\n",
-                         scaling[i].threads, scaling[i].tokensPerSec,
-                         scaling[i].speedupVsSerial,
-                         i + 1 < scaling.size() ? "," : "");
-        std::fprintf(json, "  ],\n  \"spans\": [\n");
-        for (std::size_t i = 0; i < spans.size(); ++i)
-            std::fprintf(json,
-                         "    {\"name\": \"%s\", \"count\": %zu,"
-                         " \"total_us\": %.1f, \"mean_us\": %.2f}%s\n",
-                         spans[i].name.c_str(), spans[i].count,
-                         spans[i].totalUs, spans[i].meanUs,
-                         i + 1 < spans.size() ? "," : "");
-        std::fprintf(json,
-                     "  ],\n  \"fp32_parallel_speedup\": %.3f,\n"
-                     "  \"qexec_parallel_tokens_per_sec\": %.1f,\n"
-                     "  \"packed_resident_over_fp32\": %.5f\n}\n",
-                     speedup, q_parallel,
-                     static_cast<double>(packed_resident)
-                         / static_cast<double>(fp32_resident));
-        std::fclose(json);
+        benchjson::writeForwardJson(doc, json);
+        json.close();
         std::printf("wrote %s\n", out.c_str());
     }
     return 0;

@@ -15,16 +15,27 @@
  * EXPERIMENTS.md. Tier-to-tier speedup here is the microscopic view
  * of the micro_forward end-to-end win.
  *
+ * When hardware counters are available (obs/pmu.hh; GOBO_PMU governs
+ * the backend) every timed loop is additionally bracketed with PMU
+ * samples and the JSON gains a `pmu` roofline block: DRAM bytes/s
+ * actually measured from LLC misses vs. the wall-clock GB/s of
+ * operands *streamed through the kernel*, plus arithmetic intensity
+ * (flops per missed byte) and IPC. The block is machine-dependent by
+ * construction and never gated — bench_diff.py skips it by design.
+ *
  * Flags: --seed N, --fast (fewer repetitions), --out PATH.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.hh"
 #include "kernels/kernels.hh"
+#include "obs/pmu.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 #include "util/timer.hh"
@@ -33,15 +44,7 @@ using namespace gobo;
 
 namespace {
 
-struct Result
-{
-    std::string kernel;
-    std::string tier;
-    unsigned bits = 0; ///< 0 when the kernel does not depend on B.
-    std::size_t n = 0;
-    double gbPerSec = 0.0;
-    double gflopPerSec = 0.0;
-};
+using Result = benchjson::KernelResult;
 
 /** Consumed by every timing loop so the kernel calls stay live. */
 volatile double g_sink = 0.0;
@@ -137,11 +140,41 @@ main(int argc, char **argv)
         std::printf(" %s", t->name);
     std::printf(")\n\n");
 
+    // Hardware counters for the roofline block. The registry samples
+    // only this (the timing) thread; with the backend off every sample
+    // is invalid and the roofline vector stays empty. Timing loops are
+    // untouched either way: sampling happens strictly outside them, so
+    // wall-clock results are identical with PMU on, off, or absent.
+    PmuRegistry pmu;
+    std::vector<benchjson::KernelRoofline> roofline;
+    const double line = static_cast<double>(pmuCacheLineBytes());
+    auto addRoofline = [&](const Result &r, const PmuSample &delta,
+                           double secs, double flops) {
+        if (!delta.valid)
+            return;
+        double missBytes = static_cast<double>(delta.llcMisses) * line;
+        benchjson::KernelRoofline roof;
+        roof.kernel = r.kernel;
+        roof.tier = r.tier;
+        roof.bits = r.bits;
+        roof.wallGbPerSec = r.gbPerSec;
+        roof.measuredGbPerSec = secs > 0 ? missBytes / secs / 1e9 : 0.0;
+        roof.arithmeticIntensity =
+            missBytes > 0 ? flops / missBytes : 0.0;
+        roof.ipc = delta.cycles > 0
+                       ? static_cast<double>(delta.instructions) /
+                             static_cast<double>(delta.cycles)
+                       : 0.0;
+        roofline.push_back(std::move(roof));
+    };
+
     std::vector<Result> results;
     for (const KernelSet *t : tiers) {
         const KernelSet &kn = *t;
         {
+            PmuSample t0 = pmu.threadSample();
             double secs = timeDot(kn, a, b, reps);
+            PmuSample delta = pmu.threadSample().since(t0);
             double calls = static_cast<double>(reps);
             // Streams both operand vectors; one mul + one add per
             // element.
@@ -149,9 +182,12 @@ main(int argc, char **argv)
             double flops = calls * 2.0 * kDenseN;
             results.push_back({"dot", kn.name, 0, kDenseN,
                                bytes / secs / 1e9, flops / secs / 1e9});
+            addRoofline(results.back(), delta, secs, flops);
         }
         {
+            PmuSample t0 = pmu.threadSample();
             double secs = timeAxpy(kn, a, y, reps);
+            PmuSample delta = pmu.threadSample().since(t0);
             double calls = static_cast<double>(reps);
             // Streams x, reads and writes y; one mul + one add per
             // element.
@@ -159,6 +195,7 @@ main(int argc, char **argv)
             double flops = calls * 2.0 * kDenseN;
             results.push_back({"axpy", kn.name, 0, kDenseN,
                                bytes / secs / 1e9, flops / secs / 1e9});
+            addRoofline(results.back(), delta, secs, flops);
         }
         for (unsigned bits : {2u, 3u, 4u}) {
             std::size_t k = std::size_t{1} << bits;
@@ -168,8 +205,10 @@ main(int argc, char **argv)
                 v = static_cast<std::uint8_t>(
                     irng.integer(0, static_cast<int>(k) - 1));
             std::vector<double> bucket(k * kSeqTile);
+            PmuSample t0 = pmu.threadSample();
             double secs = timeBucket(kn, irow, xt, bucket, k,
                                      reps / 4);
+            PmuSample delta = pmu.threadSample().since(t0);
             double calls = static_cast<double>(reps / 4);
             // Streams the index row and the activation tile, plus the
             // bucket working set (reads + writes, but it stays in L1).
@@ -180,6 +219,7 @@ main(int argc, char **argv)
             double flops = calls * kIn * kSeqTile;
             results.push_back({"bucket_acc_tile", kn.name, bits, kIn,
                                bytes / secs / 1e9, flops / secs / 1e9});
+            addRoofline(results.back(), delta, secs, flops);
         }
     }
 
@@ -192,24 +232,36 @@ main(int argc, char **argv)
                       ConsoleTable::num(r.gflopPerSec, 2)});
     table.print(std::cout);
 
-    std::FILE *json = std::fopen(out.c_str(), "w");
+    if (!roofline.empty()) {
+        std::printf("\nRoofline (hardware counters, %s backend, "
+                    "%zu-byte lines; machine-dependent, ungated):\n",
+                    pmu.backendName(), pmuCacheLineBytes());
+        ConsoleTable roof({"Kernel", "Tier", "B", "Wall GB/s",
+                           "DRAM GB/s", "Flop/DRAM-byte", "IPC"});
+        for (const auto &r : roofline)
+            roof.addRow({r.kernel, r.tier,
+                         r.bits ? std::to_string(r.bits) : "-",
+                         ConsoleTable::num(r.wallGbPerSec, 2),
+                         ConsoleTable::num(r.measuredGbPerSec, 2),
+                         ConsoleTable::num(r.arithmeticIntensity, 1),
+                         ConsoleTable::num(r.ipc, 2)});
+        roof.print(std::cout);
+    } else if (!pmu.available()) {
+        std::printf("\n(no roofline: hardware counters unavailable)\n");
+    }
+
+    benchjson::KernelsDoc doc;
+    doc.seqTile = kSeqTile;
+    doc.results = results;
+    doc.pmuAvailable = pmu.available();
+    doc.pmuBackend = pmu.backendName();
+    doc.cacheLineBytes = pmuCacheLineBytes();
+    doc.roofline = std::move(roofline);
+
+    std::ofstream json(out);
     if (json) {
-        std::fprintf(json,
-                     "{\n  \"bench\": \"micro_kernels\",\n"
-                     "  \"seq_tile\": %zu,\n  \"results\": [\n",
-                     kSeqTile);
-        for (std::size_t i = 0; i < results.size(); ++i)
-            std::fprintf(
-                json,
-                "    {\"kernel\": \"%s\", \"tier\": \"%s\","
-                " \"bits\": %u, \"n\": %zu, \"gb_per_sec\": %.3f,"
-                " \"gflop_per_sec\": %.3f}%s\n",
-                results[i].kernel.c_str(), results[i].tier.c_str(),
-                results[i].bits, results[i].n, results[i].gbPerSec,
-                results[i].gflopPerSec,
-                i + 1 < results.size() ? "," : "");
-        std::fprintf(json, "  ]\n}\n");
-        std::fclose(json);
+        benchjson::writeKernelsJson(doc, json);
+        json.close();
         std::printf("\nwrote %s\n", out.c_str());
     }
     return 0;

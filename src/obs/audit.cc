@@ -7,7 +7,9 @@
 
 #include "core/qexec.hh"
 #include "exec/session.hh"
+#include "obs/export.hh"
 #include "obs/observer.hh"
+#include "obs/pmu.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
@@ -195,6 +197,14 @@ auditModel(const BertModel &model, const AuditOptions &options)
     probe.setMode(ProbeMode::Compare);
     Observer qobs;
     qobs.probe = &probe;
+    // Pillar 4 arming: the observed pass is serial, so every
+    // QuantizedLinear span runs on this thread and the thread's PMU
+    // group brackets exactly one layer's forward per span — which is
+    // what lets the per-label miss aggregation below attribute DRAM
+    // traffic to FC layers.
+    const bool pmu_on = options.pmu && options.pmu->available();
+    if (pmu_on)
+        qobs.pmu = options.pmu;
     {
         ExecContext ctx = ExecContext::serial();
         ctx.weightFormat = options.quant.format;
@@ -232,13 +242,44 @@ auditModel(const BertModel &model, const AuditOptions &options)
         report.totalEnergyMicroJ += a.totalEnergyMicroJ;
         report.totalLatencyMs += a.latencyMs;
     }
+
+    // Pillar 4: fold the per-span PMU deltas by label and line them up
+    // against the modeled traffic. Only the FC-layer labels are
+    // compared — other spans (embed, layernorm, sequence[i]) measure
+    // real misses too, but the model has no byte claim about them.
+    if (pmu_on) {
+        report.pmuAvailable = true;
+        report.pmuBackend = options.pmu->backendName();
+        report.pmuCacheLineBytes = pmuCacheLineBytes();
+        auto pmu_spans = summarizePmuSpans(qobs.tracer);
+        for (const auto &t : report.traffic) {
+            PmuLayerValidation v;
+            v.layer = t.layer;
+            v.modeledBytes = t.bytesStreamed;
+            for (const auto &s : pmu_spans) {
+                if (s.name != t.layer)
+                    continue;
+                v.spans = s.count;
+                v.llcMisses = s.llcMisses;
+                v.measuredBytes =
+                    s.llcMisses *
+                    static_cast<std::uint64_t>(report.pmuCacheLineBytes);
+                break;
+            }
+            if (v.measuredBytes > 0)
+                v.modeledOverMeasured =
+                    static_cast<double>(v.modeledBytes) /
+                    static_cast<double>(v.measuredBytes);
+            report.pmuValidation.push_back(std::move(v));
+        }
+    }
     return report;
 }
 
 void
 writeAuditJson(const AuditReport &r, std::ostream &os)
 {
-    os << "{\n  \"schema\": \"gobo-audit-v1\",\n  \"model\": \""
+    os << "{\n  \"schema\": \"gobo-audit-v2\",\n  \"model\": \""
        << jsonEscape(r.model) << "\",\n  \"bits\": " << r.bits
        << ",\n  \"format\": \"" << weightFormatName(r.format)
        << "\",\n  \"workload\": {\"sequences\": " << r.sequences
@@ -303,8 +344,28 @@ writeAuditJson(const AuditReport &r, std::ostream &os)
     os << "\n  ],\n  \"totals\": {\"bytes_streamed\": "
        << r.totalBytesStreamed << ", \"macs\": " << jsonNum(r.totalMacs)
        << ", \"energy_uj\": " << jsonNum(r.totalEnergyMicroJ)
-       << ", \"latency_ms\": " << jsonNum(r.totalLatencyMs)
-       << "}\n}\n";
+       << ", \"latency_ms\": " << jsonNum(r.totalLatencyMs) << "}";
+    // v2 addition: the hardware-counter validation block. Always
+    // present so a reader can distinguish "ran without counters"
+    // (available: false) from a pre-v2 document; machine-dependent by
+    // construction, so nothing in it is ever gated.
+    os << ",\n  \"pmu\": {\"available\": "
+       << (r.pmuAvailable ? "true" : "false") << ", \"backend\": \""
+       << jsonEscape(r.pmuBackend)
+       << "\", \"cache_line_bytes\": " << r.pmuCacheLineBytes
+       << ", \"validation\": [";
+    first = true;
+    for (const auto &v : r.pmuValidation) {
+        os << (first ? "\n" : ",\n") << "    {\"layer\": \""
+           << jsonEscape(v.layer) << "\", \"spans\": " << v.spans
+           << ", \"llc_misses\": " << v.llcMisses
+           << ", \"measured_bytes\": " << v.measuredBytes
+           << ", \"modeled_bytes\": " << v.modeledBytes
+           << ", \"modeled_over_measured\": "
+           << jsonNum(v.modeledOverMeasured) << "}";
+        first = false;
+    }
+    os << (first ? "]" : "\n  ]") << "}\n}\n";
 }
 
 void
@@ -353,6 +414,29 @@ printAuditReport(const AuditReport &r, std::ostream &os)
        << " KiB streamed, " << sci(r.totalMacs) << " MACs, "
        << ConsoleTable::num(r.totalEnergyMicroJ, 2) << " uJ, "
        << sci(r.totalLatencyMs) << " ms (modeled)\n";
+
+    if (r.pmuAvailable) {
+        os << "\nmodel validation (hardware counters, " << r.pmuBackend
+           << " backend, " << r.pmuCacheLineBytes
+           << "-byte lines; machine-dependent):\n";
+        ConsoleTable pv({"Layer", "Spans", "LLC miss", "Measured KiB",
+                         "Modeled KiB", "Modeled/Measured"});
+        for (const auto &v : r.pmuValidation)
+            pv.addRow(
+                {v.layer, std::to_string(v.spans),
+                 std::to_string(v.llcMisses),
+                 ConsoleTable::num(
+                     static_cast<double>(v.measuredBytes) / 1024.0, 1),
+                 ConsoleTable::num(
+                     static_cast<double>(v.modeledBytes) / 1024.0, 1),
+                 v.measuredBytes > 0
+                     ? ConsoleTable::num(v.modeledOverMeasured, 3)
+                     : "-"});
+        pv.print(os);
+        os << "(~1 validates the memory-bound model; >1 means the "
+              "working set stayed cached, <1 means traffic the model "
+              "does not count)\n";
+    }
 }
 
 } // namespace gobo

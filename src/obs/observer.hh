@@ -26,6 +26,7 @@
 #include <utility>
 
 #include "obs/metrics.hh"
+#include "obs/pmu.hh"
 #include "obs/trace.hh"
 
 namespace gobo {
@@ -79,6 +80,17 @@ class Observer
      * costs two branches when no sampling probe is attached.
      */
     ActivationProbe *probe = nullptr;
+
+    /**
+     * Optional hardware-counter registry (obs/pmu.hh); null by
+     * default. When attached (gobo infer/audit --pmu), every
+     * ScopedSpan brackets its interval with per-thread PMU samples and
+     * annotates the trace with llc_miss / instructions / cycles
+     * deltas. Two branches per span when absent, same economics as the
+     * probe — and, like everything else here, sampling never touches
+     * compute, so logits stay bit-identical either way.
+     */
+    PmuRegistry *pmu = nullptr;
 
     // Pre-interned ids for the instrumented hot paths. Counter names
     // follow the `subsystem.event[.variant]` scheme DESIGN.md §9
@@ -190,7 +202,7 @@ class ScopedSpan
     {
         if (obs) {
             spanName = name;
-            beginUs = obs->tracer.nowUs();
+            begin();
         }
     }
 
@@ -203,7 +215,7 @@ class ScopedSpan
             spanName += '[';
             spanName += std::to_string(index);
             spanName += ']';
-            beginUs = obs->tracer.nowUs();
+            begin();
         }
     }
 
@@ -211,7 +223,7 @@ class ScopedSpan
     {
         if (obs) {
             spanName = std::move(name);
-            beginUs = obs->tracer.nowUs();
+            begin();
         }
     }
 
@@ -233,16 +245,41 @@ class ScopedSpan
 
     ~ScopedSpan()
     {
-        if (obs)
+        if (obs) {
+            // PMU end-sample before the end timestamp: the counter
+            // read is the expensive part, keep it inside the span.
+            if (obs->pmu && pmuBegin.valid) {
+                PmuSample delta =
+                    obs->pmu->threadSample().since(pmuBegin);
+                if (delta.valid) {
+                    spanArgs.emplace_back("llc_miss", delta.llcMisses);
+                    spanArgs.emplace_back("instructions",
+                                          delta.instructions);
+                    spanArgs.emplace_back("cycles", delta.cycles);
+                }
+            }
             obs->tracer.record(std::move(spanName), beginUs,
                                obs->tracer.nowUs() - beginUs,
                                std::move(spanArgs));
+        }
     }
 
   private:
+    /** Shared begin path once the span is known to be live: start
+     * timestamp, then the PMU begin-sample (invalid when no registry
+     * is attached or the backend is down — the dtor's cue to skip). */
+    void
+    begin()
+    {
+        beginUs = obs->tracer.nowUs();
+        if (obs->pmu)
+            pmuBegin = obs->pmu->threadSample();
+    }
+
     Observer *obs;
     std::string spanName;
     std::vector<TraceArg> spanArgs;
+    PmuSample pmuBegin;
     double beginUs = 0.0;
 };
 

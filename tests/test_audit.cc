@@ -383,7 +383,7 @@ TEST_F(AuditFixture, AuditJsonIsBalancedAndTagged)
     std::ostringstream os;
     writeAuditJson(r, os);
     std::string json = os.str();
-    EXPECT_NE(json.find("\"schema\": \"gobo-audit-v1\""),
+    EXPECT_NE(json.find("\"schema\": \"gobo-audit-v2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"fidelity\""), std::string::npos);
     EXPECT_NE(json.find("\"divergence\""), std::string::npos);

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Subprocess tests for tools/bench_diff.py: the machine-dependent
+ * block contract (a candidate-only `pmu` block is explicitly skipped,
+ * never gated), the unknown-bench error naming the known dispatch
+ * keys, and the micro_kernels throughput gate. These run the real
+ * script with python3; hosts without an interpreter skip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifdef __unix__
+#include <sys/wait.h>
+#endif
+
+#ifndef GOBO_SOURCE_DIR
+#error "test_benchdiff needs GOBO_SOURCE_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace gobo {
+namespace {
+
+bool
+havePython()
+{
+    static const bool have =
+        std::system("python3 -c pass >/dev/null 2>&1") == 0;
+    return have;
+}
+
+int
+exitCode(int status)
+{
+#ifdef __unix__
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#else
+    return status;
+#endif
+}
+
+struct DiffResult
+{
+    int exit = -1;
+    std::string output; ///< stdout + stderr, interleaved.
+};
+
+/** Run bench_diff.py over two files, capturing combined output. */
+DiffResult
+runDiff(const std::string &baseline, const std::string &candidate)
+{
+    std::string outPath = ::testing::TempDir() + "benchdiff_out.txt";
+    std::string cmd = "python3 \"" GOBO_SOURCE_DIR
+                      "/tools/bench_diff.py\" \"" +
+                      baseline + "\" \"" + candidate + "\" > \"" +
+                      outPath + "\" 2>&1";
+    DiffResult r;
+    r.exit = exitCode(std::system(cmd.c_str()));
+    std::ifstream in(outPath);
+    std::ostringstream os;
+    os << in.rdbuf();
+    r.output = os.str();
+    return r;
+}
+
+std::string
+writeTemp(const char *name, const std::string &content)
+{
+    std::string path = ::testing::TempDir() + name;
+    std::ofstream(path) << content;
+    return path;
+}
+
+const char *kKernelsResults =
+    "  \"results\": [\n"
+    "    {\"kernel\": \"dot\", \"tier\": \"generic\", \"bits\": 0,"
+    " \"n\": 4096, \"gb_per_sec\": 10.0, \"gflop_per_sec\": 2.5}\n"
+    "  ]";
+
+std::string
+kernelsBaseline()
+{
+    return std::string("{\n  \"bench\": \"micro_kernels\",\n"
+                       "  \"seq_tile\": 8,\n") +
+           kKernelsResults + "\n}\n";
+}
+
+TEST(BenchDiffTest, CandidateOnlyPmuBlockIsExplicitlySkipped)
+{
+    if (!havePython())
+        GTEST_SKIP() << "python3 not available";
+
+    // Same results; the candidate additionally carries the
+    // machine-dependent roofline block the baseline lacks.
+    std::string cand =
+        std::string("{\n  \"bench\": \"micro_kernels\",\n"
+                    "  \"seq_tile\": 8,\n") +
+        kKernelsResults +
+        ",\n  \"pmu\": {\"available\": true, \"backend\": \"fake\","
+        " \"cache_line_bytes\": 64, \"results\": []}\n}\n";
+
+    DiffResult r =
+        runDiff(writeTemp("kbase.json", kernelsBaseline()),
+                writeTemp("kcand_pmu.json", cand));
+    EXPECT_EQ(r.exit, 0) << r.output;
+    EXPECT_NE(r.output.find("pmu: skipped (machine-dependent"),
+              std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("FAIL"), std::string::npos) << r.output;
+}
+
+TEST(BenchDiffTest, UnknownBenchNamesTheKnownDispatchKeys)
+{
+    if (!havePython())
+        GTEST_SKIP() << "python3 not available";
+
+    std::string bogus =
+        writeTemp("bogus.json", "{\"bench\": \"bogus\"}\n");
+    DiffResult r = runDiff(bogus, bogus);
+    EXPECT_EQ(r.exit, 2) << r.output;
+    EXPECT_NE(r.output.find("unknown bench 'bogus'"), std::string::npos)
+        << r.output;
+    for (const char *known :
+         {"micro_forward", "micro_serve", "micro_kernels"})
+        EXPECT_NE(r.output.find(known), std::string::npos)
+            << "error does not name " << known << ": " << r.output;
+}
+
+TEST(BenchDiffTest, KernelsThroughputCollapseFails)
+{
+    if (!havePython())
+        GTEST_SKIP() << "python3 not available";
+
+    std::string cand =
+        "{\n  \"bench\": \"micro_kernels\",\n  \"seq_tile\": 8,\n"
+        "  \"results\": [\n"
+        "    {\"kernel\": \"dot\", \"tier\": \"generic\", \"bits\": 0,"
+        " \"n\": 4096, \"gb_per_sec\": 1.0, \"gflop_per_sec\": 0.25}\n"
+        "  ]\n}\n";
+    DiffResult r =
+        runDiff(writeTemp("kbase2.json", kernelsBaseline()),
+                writeTemp("kcand_slow.json", cand));
+    EXPECT_EQ(r.exit, 1) << r.output;
+    EXPECT_NE(r.output.find("FAIL"), std::string::npos) << r.output;
+}
+
+TEST(BenchDiffTest, IdenticalKernelsFilesPass)
+{
+    if (!havePython())
+        GTEST_SKIP() << "python3 not available";
+
+    std::string base = writeTemp("kbase3.json", kernelsBaseline());
+    DiffResult r = runDiff(base, base);
+    EXPECT_EQ(r.exit, 0) << r.output;
+    EXPECT_NE(r.output.find("all within tolerance"), std::string::npos)
+        << r.output;
+}
+
+} // namespace
+} // namespace gobo

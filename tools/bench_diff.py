@@ -24,6 +24,20 @@ the committed bench/baseline/BENCH_forward.json) on three axes:
     `--tps-tol`, like the engine results. Baselines written before the
     field existed simply skip the cross-file half.
 
+micro_kernels — compares per-(kernel, tier, bits) GB/s of streamed
+operands at the loose `--tps-tol` fraction (kernel throughput is
+wall-clock and noisy, like tokens/sec). Baseline tiers the candidate
+machine cannot run (e.g. an AVX2 row against a generic-only host)
+carry no signal and are skipped with a note rather than failed.
+
+Machine-dependent blocks — when the candidate carries a top-level
+block the baseline lacks *and* that block is in the known
+machine-dependent set (`spans`, `pmu`), the diff prints an explicit
+"skipped (machine-dependent)" line instead of staying silent: the
+`pmu` roofline block in BENCH_kernels.json records hardware-counter
+readings that are different on every host by construction, so it is
+never gated — only acknowledged.
+
 micro_serve — the deterministic block (response_checksum, shed and
 batch counts, lane accounting, tile occupancy, virtual latency and
 queue-wait quantiles, per-band stats, and the windowed `timeline`
@@ -63,7 +77,14 @@ import argparse
 import json
 import sys
 
-KNOWN_BENCHES = ("micro_forward", "micro_serve")
+KNOWN_BENCHES = ("micro_forward", "micro_serve", "micro_kernels")
+
+# Top-level blocks that are different on every machine by
+# construction; a candidate-only block from this set is acknowledged
+# ("skipped (machine-dependent)") instead of silently ignored, and is
+# never gated. `spans` is wall-clock latency, `pmu` is raw hardware
+# counters (see EXPERIMENTS.md, BENCH_kernels.json).
+MACHINE_DEPENDENT_BLOCKS = ("spans", "pmu")
 
 
 def refuse(msg):
@@ -81,8 +102,23 @@ def load(path):
     # Files from before the dispatcher read as micro_forward.
     bench = data.get("bench", "micro_forward")
     if bench not in KNOWN_BENCHES:
-        refuse(f"bench_diff: {path}: unknown bench '{bench}'")
+        refuse(f"bench_diff: {path}: unknown bench '{bench}' "
+               f"(known: {', '.join(KNOWN_BENCHES)})")
     return data
+
+
+def report_machine_dependent_blocks(base, cand):
+    """Acknowledge candidate-only machine-dependent blocks.
+
+    A block from MACHINE_DEPENDENT_BLOCKS that the candidate carries
+    but the baseline lacks is skipped *by design* (regenerating the
+    baseline would not make it comparable), and the skip is printed so
+    a reader never mistakes it for a gate.
+    """
+    for key in MACHINE_DEPENDENT_BLOCKS:
+        if key in cand and key not in base:
+            print(f"  {key}: skipped (machine-dependent; candidate-only "
+                  f"block, never gated)")
 
 
 def refuse_environment_mismatch(base, cand):
@@ -219,6 +255,66 @@ def diff_forward(base, cand, args):
             mark = "  <-- FAIL"
         print(f"    {name:28s} {bm:>10.1f} -> {cm:>10.1f} us "
               f"({ratio:.2f}x){mark}")
+
+    return failures
+
+
+def kernel_results_by_key(data):
+    return {
+        (r["kernel"], r["tier"], r["bits"]): r
+        for r in data.get("results", [])
+    }
+
+
+def diff_kernels(base, cand, args):
+    """Per-(kernel, tier, bits) streamed-operand GB/s at `--tps-tol`.
+
+    Kernel throughput is a wall-clock figure, so the gate is the same
+    loose collapse detector used for tokens/sec. Tiers the candidate
+    machine cannot run at all (no row for that tier) are noise, not
+    regressions: the dispatcher decided, not the code under test.
+    """
+    failures = []
+    base_r = kernel_results_by_key(base)
+    cand_r = kernel_results_by_key(cand)
+    cand_tiers = {tier for (_, tier, _) in cand_r}
+
+    if base.get("seq_tile") != cand.get("seq_tile"):
+        refuse(
+            f"bench_diff: seq_tile mismatch: baseline "
+            f"{base.get('seq_tile')} vs candidate "
+            f"{cand.get('seq_tile')} — the bucket kernel's working "
+            f"set depends on the tile width, so the runs are not "
+            f"comparable")
+
+    for key in sorted(base_r):
+        kernel, tier, bits = key
+        name = f"{kernel}/{tier}" + (f"/B{bits}" if bits else "")
+        if key not in cand_r:
+            if tier not in cand_tiers:
+                print(f"  {name:34s} (tier not runnable on candidate; "
+                      f"skipped)")
+            else:
+                failures.append(f"missing result for {name}")
+            continue
+        b, c = base_r[key], cand_r[key]
+        gb_b = b.get("gb_per_sec", 0)
+        gb_c = c.get("gb_per_sec", 0)
+        if gb_b > 0:
+            frac = gb_c / gb_b
+            mark = ""
+            if frac < args.tps_tol:
+                failures.append(
+                    f"{name}: GB/s {gb_b:.2f} -> {gb_c:.2f} "
+                    f"({frac:.2f}x < {args.tps_tol}x)")
+                mark = "  <-- FAIL"
+            print(f"  {name:34s} GB/s {gb_b:>9.2f} -> {gb_c:>9.2f} "
+                  f"({frac:.2f}x){mark}")
+
+    for key in sorted(set(cand_r) - set(base_r)):
+        kernel, tier, bits = key
+        name = f"{kernel}/{tier}" + (f"/B{bits}" if bits else "")
+        print(f"  {name:34s} (new in candidate; not gated)")
 
     return failures
 
@@ -437,8 +533,11 @@ def main():
 
     print(f"bench_diff: {args.baseline} -> {args.candidate} "
           f"({base_bench})")
+    report_machine_dependent_blocks(base, cand)
     if base_bench == "micro_serve":
         failures = diff_serve(base, cand, args)
+    elif base_bench == "micro_kernels":
+        failures = diff_kernels(base, cand, args)
     else:
         failures = diff_forward(base, cand, args)
 

@@ -80,6 +80,7 @@
 #include "obs/audit.hh"
 #include "obs/export.hh"
 #include "obs/observer.hh"
+#include "obs/pmu.hh"
 #include "obs/timeline.hh"
 #include "serve/loadgen.hh"
 #include "serve/server.hh"
@@ -114,12 +115,12 @@ usage(const char *msg = nullptr)
         "                 [--engine fp32|qexec]"
         " [--format unpacked|packed] [--seed N]\n"
         "                 [--trace OUT.json] [--metrics]"
-        " [--metrics-json OUT.json]\n"
+        " [--metrics-json OUT.json] [--pmu]\n"
         "  gobo audit     FILE [--bits B] [--embedding-bits E]"
         " [--method M]\n"
         "                 [--threshold T] [--format unpacked|packed]\n"
         "                 [--sequences N] [--seq-len S] [--seed N]\n"
-        "                 [--json OUT.json]\n"
+        "                 [--json OUT.json] [--pmu]\n"
         "  gobo serve     FILE --trace SPEC [--threads N]\n"
         "                 [--backend serial|parallel]"
         " [--kernel generic|avx2|native]\n"
@@ -155,7 +156,7 @@ struct Args
     static bool
     isSwitch(const std::string &key)
     {
-        static const char *const switches[] = {"metrics"};
+        static const char *const switches[] = {"metrics", "pmu"};
         for (const char *s : switches)
             if (key == s)
                 return true;
@@ -423,11 +424,23 @@ cmdInfer(const Args &args)
     std::string trace_path = args.get("trace", "");
     std::string metrics_json_path = args.get("metrics-json", "");
     bool show_metrics = args.has("metrics");
+    bool use_pmu = args.has("pmu");
     std::optional<Observer> observer;
-    if (!trace_path.empty() || show_metrics
-        || !metrics_json_path.empty()) {
+    std::optional<PmuRegistry> pmu;
+    if (!trace_path.empty() || show_metrics || !metrics_json_path.empty()
+        || use_pmu) {
         observer.emplace();
         ctx.obs = &*observer;
+    }
+    if (use_pmu) {
+        // Process-default backend: probes perf_event once, or degrades
+        // with a single stderr note. An unavailable registry is inert —
+        // the run proceeds identically (bit-identical logits) and the
+        // metrics dump reports pmu.available = 0 instead of failing.
+        pmu.emplace();
+        observer->pmu = &*pmu;
+        if (ctx.isParallel())
+            pmu->attachWorkers(ThreadPool::shared().workerThreadIds());
     }
 
     std::ifstream is(path, std::ios::binary);
@@ -497,11 +510,25 @@ cmdInfer(const Args &args)
                     observer->tracer.events().size(),
                     trace_path.c_str());
     }
-    if (show_metrics || !metrics_json_path.empty()) {
+    if (show_metrics || !metrics_json_path.empty() || use_pmu) {
         MetricsSnapshot snap = observer->metrics.snapshot();
         appendPoolCounters(snap, ThreadPool::shared().telemetry());
         appendScratchCounters(snap, scratchStats());
+        appendScratchGauges(snap, scratchStats());
         appendTraceCounters(snap, observer->tracer);
+        if (pmu) {
+            PmuSnapshot ps = pmu->snapshot();
+            appendPmuMetrics(snap, ps);
+            if (ps.available && ps.total.valid)
+                std::printf("\npmu (%s backend): IPC %.2f, LLC miss "
+                            "ratio %.3f, measured %.2f GB/s from "
+                            "misses\n",
+                            ps.backend.c_str(), ps.ipc(),
+                            ps.llcMissRatio(), ps.llcMissGBps());
+            else
+                std::puts("\npmu: hardware counters unavailable "
+                          "(run unchanged; pmu.available = 0)");
+        }
         if (show_metrics) {
             std::puts("");
             printMetrics(snap, std::cout);
@@ -551,6 +578,16 @@ cmdAudit(const Args &args)
     opt.seed = parseU64Flag(args, "seed", "42");
     if (opt.sequences == 0 || opt.seqLen == 0)
         usage("sequences and seq-len must be positive");
+
+    // Pillar 4 (model validation) when counters are available; an
+    // unavailable backend leaves the registry inert and the audit
+    // identical to a run without --pmu (the JSON then records
+    // "available": false instead of the validation table).
+    std::optional<PmuRegistry> pmu;
+    if (args.has("pmu")) {
+        pmu.emplace();
+        opt.pmu = &*pmu;
+    }
 
     std::ifstream is(path, std::ios::binary);
     fatalIf(!is, "cannot open ", path);
