@@ -70,6 +70,13 @@ struct ForwardDoc
     std::size_t threads = 0;
     std::size_t cores = 0;
     std::string kernelTier;
+    /** Active tier's sequence-tile width (KernelSet::seqTile). Changes
+     * batching granularity, so bench_diff refuses cross-width diffs. */
+    std::size_t seqTile = 0;
+    /** Decoded-row cache budget (GOBO_DECODE_CACHE_KB) in KiB; part of
+     * the environment stamp since it shifts both throughput and
+     * resident accounting. */
+    std::size_t decodeCacheKb = 0;
     std::vector<ForwardResult> results;
     std::vector<ScalingPoint> scaling;
     std::vector<SpanSummary> spans;
@@ -87,9 +94,11 @@ writeForwardJson(const ForwardDoc &doc, std::ostream &os)
         "  \"seq_len\": %zu,\n  \"batch\": %zu,\n"
         "  \"threads\": %zu,\n  \"cores\": %zu,\n"
         "  \"kernel_tier\": \"%s\",\n"
+        "  \"seq_tile\": %zu,\n"
+        "  \"decode_cache_kb\": %zu,\n"
         "  \"results\": [\n",
         doc.seqLen, doc.batch, doc.threads, doc.cores,
-        doc.kernelTier.c_str());
+        doc.kernelTier.c_str(), doc.seqTile, doc.decodeCacheKb);
     for (std::size_t i = 0; i < doc.results.size(); ++i)
         put(os,
             "    {\"engine\": \"%s\", \"backend\": \"%s\","
@@ -134,6 +143,10 @@ struct KernelResult
     std::string tier;
     unsigned bits = 0; ///< 0 when the kernel does not depend on B.
     std::size_t n = 0;
+    /** The tier's sequence-tile width — tile kernels process this many
+     * lanes per call, so GB/s figures are only comparable at equal
+     * width (bench_diff refuses mismatches on shared keys). */
+    std::size_t seqTile = 0;
     double gbPerSec = 0.0;
     double gflopPerSec = 0.0;
 };
@@ -156,6 +169,9 @@ struct KernelRoofline
 
 struct KernelsDoc
 {
+    /** Baseline (generic-tier) tile width, kept at the document level
+     * for schema continuity; each result row additionally carries its
+     * own tier's `seq_tile` since widths differ across tiers. */
     std::size_t seqTile = 0;
     std::vector<KernelResult> results;
 
@@ -179,10 +195,12 @@ writeKernelsJson(const KernelsDoc &doc, std::ostream &os)
     for (std::size_t i = 0; i < doc.results.size(); ++i)
         put(os,
             "    {\"kernel\": \"%s\", \"tier\": \"%s\","
-            " \"bits\": %u, \"n\": %zu, \"gb_per_sec\": %.3f,"
+            " \"bits\": %u, \"n\": %zu, \"seq_tile\": %zu,"
+            " \"gb_per_sec\": %.3f,"
             " \"gflop_per_sec\": %.3f}%s\n",
             doc.results[i].kernel.c_str(), doc.results[i].tier.c_str(),
             doc.results[i].bits, doc.results[i].n,
+            doc.results[i].seqTile,
             doc.results[i].gbPerSec, doc.results[i].gflopPerSec,
             i + 1 < doc.results.size() ? "," : "");
     put(os, "  ]");

@@ -30,8 +30,10 @@
 #include "bench/bench_json.hh"
 #include "bench/bench_util.hh"
 #include "core/qexec.hh"
+#include "exec/scratch.hh"
 #include "exec/session.hh"
 #include "kernels/kernels.hh"
+#include "model/footprint.hh"
 #include "model/generate.hh"
 #include "obs/export.hh"
 #include "obs/observer.hh"
@@ -196,10 +198,15 @@ main(int argc, char **argv)
         results.push_back({"qexec", "parallel", q_parallel, q_resident});
         double pk_serial = timeBatches(s_pk, batch, reps);
         double pk_parallel = timeBatches(p_pk, batch, reps);
+        // Packed rows additionally charge the decoded-row cache
+        // capacity — one per-arena budget per executing thread — so
+        // the compression story stays honest about cached decode
+        // bytes. Unpacked and fp32 never populate the cache.
+        results.push_back({"qpacked", "serial", pk_serial,
+                           packed_resident + decodeCacheResidentBytes(1)});
         results.push_back(
-            {"qpacked", "serial", pk_serial, packed_resident});
-        results.push_back(
-            {"qpacked", "parallel", pk_parallel, packed_resident});
+            {"qpacked", "parallel", pk_parallel,
+             packed_resident + decodeCacheResidentBytes(threads)});
 
         // Thread-scaling curve on the packed engine: one session,
         // re-contexted per width so weights stay resident and only the
@@ -272,6 +279,10 @@ main(int argc, char **argv)
     traced_ctx.obs = &obs;
     InferenceSession traced(QuantizedBertModel(model, qopt),
                             traced_ctx);
+    // Two forwards back to back: the second demonstrates the decoded-
+    // row cache surviving across forwards (pooler/head rows included),
+    // visible below as qexec.layer.*.decode_cache_hits.
+    traced.headLogitsBatch(batch);
     traced.headLogitsBatch(batch);
     auto spans = summarizeSpans(obs.tracer);
 
@@ -285,12 +296,34 @@ main(int argc, char **argv)
                    ConsoleTable::num(spans[i].meanUs, 1)});
     st.print(std::cout);
 
+    // Decoded-row cache outcome across the whole run (all sessions
+    // share the process-wide arena registry), plus the per-layer hit
+    // counters from the traced session — pooler and head rows hitting
+    // here means the cache survived across forwards.
+    {
+        MetricsSnapshot snap = obs.metrics.snapshot();
+        appendScratchCounters(snap, scratchStats());
+        appendScratchGauges(snap, scratchStats());
+        std::printf("\nDecoded-row cache (budget %zu KiB/arena):\n",
+                    decodeCacheBudgetBytes() / 1024);
+        for (const auto &c : snap.counters)
+            if (c.name.find("decode_cache") != std::string::npos
+                || c.name.find("decode_row") != std::string::npos)
+                std::printf("  %-44s %zu\n", c.name.c_str(),
+                            static_cast<std::size_t>(c.value));
+        for (const auto &g : snap.gauges)
+            if (g.name.find("decode_") != std::string::npos)
+                std::printf("  %-44s %.3f\n", g.name.c_str(), g.value);
+    }
+
     benchjson::ForwardDoc doc;
     doc.seqLen = seq_len;
     doc.batch = batch_size;
     doc.threads = threads;
     doc.cores = cores;
     doc.kernelTier = tier;
+    doc.seqTile = activeKernels().seqTile;
+    doc.decodeCacheKb = decodeCacheBudgetBytes() / 1024;
     doc.results = results;
     doc.scaling = scaling;
     doc.spans = spans;

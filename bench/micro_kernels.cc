@@ -2,13 +2,17 @@
  * @file
  * Per-kernel throughput: the SIMD layer measured in isolation.
  *
- * Times the three hot kernels — fold-left dot, axpy, and the
- * sequence-tiled bucket scatter (phase 1 of the compressed-domain FC)
- * — on every tier the host can run, and reports GB/s of streamed
- * operands and GFLOP/s of useful arithmetic. The bucket kernel is
- * swept across B in {2, 3, 4} (k = 2^B buckets): its flop count per
+ * Times the hot kernels — fold-left dot, axpy, the sequence-tiled
+ * bucket scatter (phase 1 of the compressed-domain FC), and the
+ * packed-row decode (phase 0) — on every tier the host can run
+ * (generic, avx2, avx512), and reports GB/s of streamed operands and
+ * GFLOP/s of useful arithmetic. Bucket and decode are swept across B
+ * in {2, 3, 4} (k = 2^B buckets): the bucket kernel's flop count per
  * element is fixed (one add per index per lane), so the sweep shows
- * how bucket-working-set size moves the scatter, not the flops.
+ * how bucket-working-set size moves the scatter, not the flops. Tile
+ * kernels run at their tier's seqTile width (8 generic/avx2, 16
+ * avx512); each result row stamps that width, and bench_diff refuses
+ * to compare rows whose widths differ.
  *
  * Results go to BENCH_kernels.json (or --out PATH); the committed
  * baseline lives in bench/baseline/BENCH_kernels.json. Schema is in
@@ -93,6 +97,22 @@ timeBucket(const KernelSet &kn, const std::vector<std::uint8_t> &irow,
     return secs;
 }
 
+double
+timeDecode(const KernelSet &kn, const std::vector<std::uint8_t> &packed,
+           std::uint32_t bits, std::size_t n,
+           std::vector<std::uint8_t> &out, std::size_t reps)
+{
+    kn.decodePackedRow(packed.data(), packed.size(), 0, bits, n,
+                       out.data());
+    WallTimer timer;
+    for (std::size_t r = 0; r < reps; ++r)
+        kn.decodePackedRow(packed.data(), packed.size(), 0, bits, n,
+                           out.data());
+    double secs = timer.seconds();
+    g_sink += out[0];
+    return secs;
+}
+
 } // namespace
 
 int
@@ -120,6 +140,8 @@ main(int argc, char **argv)
     std::vector<const KernelSet *> tiers = {&genericKernels()};
     if (const KernelSet *avx2 = avx2Kernels())
         tiers.push_back(avx2);
+    if (const KernelSet *avx512 = avx512Kernels())
+        tiers.push_back(avx512);
 
     // Dense kernels at a BERT-base-like width; the bucket kernel at the
     // hidden size (one weight row against one activation tile).
@@ -131,7 +153,9 @@ main(int argc, char **argv)
     rng.fillGaussian(a, 0.0, 1.0);
     rng.fillGaussian(b, 0.0, 1.0);
     rng.fillGaussian(y, 0.0, 1.0);
-    std::vector<float> xt(kIn * kSeqTile);
+    // Activation tiles are sized for the widest tier; a tier's bucket
+    // kernel only reads the first seqTile lanes of each element.
+    std::vector<float> xt(kIn * kMaxSeqTile);
     rng.fillGaussian(xt, 0.0, 1.0);
 
     std::printf("Micro-benchmark: kernel throughput (%zu reps, tiers:",
@@ -180,7 +204,7 @@ main(int argc, char **argv)
             // element.
             double bytes = calls * 2.0 * kDenseN * sizeof(float);
             double flops = calls * 2.0 * kDenseN;
-            results.push_back({"dot", kn.name, 0, kDenseN,
+            results.push_back({"dot", kn.name, 0, kDenseN, kn.seqTile,
                                bytes / secs / 1e9, flops / secs / 1e9});
             addRoofline(results.back(), delta, secs, flops);
         }
@@ -193,10 +217,11 @@ main(int argc, char **argv)
             // element.
             double bytes = calls * 3.0 * kDenseN * sizeof(float);
             double flops = calls * 2.0 * kDenseN;
-            results.push_back({"axpy", kn.name, 0, kDenseN,
+            results.push_back({"axpy", kn.name, 0, kDenseN, kn.seqTile,
                                bytes / secs / 1e9, flops / secs / 1e9});
             addRoofline(results.back(), delta, secs, flops);
         }
+        const std::size_t tile = kn.seqTile;
         for (unsigned bits : {2u, 3u, 4u}) {
             std::size_t k = std::size_t{1} << bits;
             std::vector<std::uint8_t> irow(kIn);
@@ -204,7 +229,7 @@ main(int argc, char **argv)
             for (auto &v : irow)
                 v = static_cast<std::uint8_t>(
                     irng.integer(0, static_cast<int>(k) - 1));
-            std::vector<double> bucket(k * kSeqTile);
+            std::vector<double> bucket(k * tile);
             PmuSample t0 = pmu.threadSample();
             double secs = timeBucket(kn, irow, xt, bucket, k,
                                      reps / 4);
@@ -213,22 +238,52 @@ main(int argc, char **argv)
             // Streams the index row and the activation tile, plus the
             // bucket working set (reads + writes, but it stays in L1).
             double bytes =
-                calls * (kIn * (1.0 + kSeqTile * sizeof(float))
-                         + 2.0 * k * kSeqTile * sizeof(double));
+                calls * (kIn * (1.0 + tile * sizeof(float))
+                         + 2.0 * k * tile * sizeof(double));
             // One double add per (index, lane).
-            double flops = calls * kIn * kSeqTile;
+            double flops = calls * kIn * tile;
             results.push_back({"bucket_acc_tile", kn.name, bits, kIn,
-                               bytes / secs / 1e9, flops / secs / 1e9});
+                               tile, bytes / secs / 1e9,
+                               flops / secs / 1e9});
             addRoofline(results.back(), delta, secs, flops);
+        }
+        for (unsigned bits : {2u, 3u, 4u}) {
+            // Packed-row decode: the phase-0 step of the compressed-
+            // domain FC. Bytes = packed input read + widened output
+            // written; no arithmetic, so GFLOP/s is 0 by construction.
+            std::vector<std::uint8_t> packed((kIn * bits + 7) / 8, 0);
+            Rng drng(seed * 131 + bits);
+            std::size_t mask = (std::size_t{1} << bits) - 1;
+            for (std::size_t i = 0; i < kIn; ++i) {
+                std::size_t v = static_cast<std::size_t>(
+                    drng.integer(0, static_cast<int>(mask)));
+                std::size_t bit = i * bits;
+                for (unsigned j = 0; j < bits; ++j, ++bit)
+                    packed[bit / 8] = static_cast<std::uint8_t>(
+                        packed[bit / 8]
+                        | (((v >> j) & 1u) << (bit % 8)));
+            }
+            std::vector<std::uint8_t> widened(kIn);
+            PmuSample t0 = pmu.threadSample();
+            double secs =
+                timeDecode(kn, packed, bits, kIn, widened, reps / 4);
+            PmuSample delta = pmu.threadSample().since(t0);
+            double calls = static_cast<double>(reps / 4);
+            double bytes =
+                calls * (static_cast<double>(packed.size()) + kIn);
+            results.push_back({"decode_row", kn.name, bits, kIn, tile,
+                               bytes / secs / 1e9, 0.0});
+            addRoofline(results.back(), delta, secs, 0.0);
         }
     }
 
     ConsoleTable table(
-        {"Kernel", "Tier", "B", "N", "GB/s", "GFLOP/s"});
+        {"Kernel", "Tier", "B", "N", "Tile", "GB/s", "GFLOP/s"});
     for (const auto &r : results)
         table.addRow({r.kernel, r.tier,
                       r.bits ? std::to_string(r.bits) : "-",
-                      std::to_string(r.n), ConsoleTable::num(r.gbPerSec, 2),
+                      std::to_string(r.n), std::to_string(r.seqTile),
+                      ConsoleTable::num(r.gbPerSec, 2),
                       ConsoleTable::num(r.gflopPerSec, 2)});
     table.print(std::cout);
 

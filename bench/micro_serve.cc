@@ -137,6 +137,9 @@ main(int argc, char **argv)
     sopt.maxQueue = 24;
     sopt.requestDeadlineUs = 150000;
     ServeServer server(session, sopt);
+    // Stamp the resolved options (tileLanes = the tier's seqTile)
+    // into the JSON, not the pre-construction copy.
+    sopt = server.options();
     ServeRun run = server.runTrace(trace);
     const ServeSummary &sum = run.summary;
 

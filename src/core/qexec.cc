@@ -31,16 +31,6 @@ QuantizedLinear::QuantizedLinear(QuantizedTensor w, Tensor b,
         indexes.reserve(idx32.size());
         for (auto v : idx32)
             indexes.push_back(static_cast<std::uint8_t>(v));
-    } else if (8 % weights.bits == 0) {
-        // Packed, B dividing 8: each byte holds exactly 8/B indexes,
-        // so one 256-row table decodes a whole byte per lookup.
-        unsigned per_byte = 8 / weights.bits;
-        std::uint32_t mask = (1u << weights.bits) - 1u;
-        decodeLut.resize(std::size_t{256} * per_byte);
-        for (std::uint32_t v = 0; v < 256; ++v)
-            for (unsigned j = 0; j < per_byte; ++j)
-                decodeLut[v * per_byte + j] = static_cast<std::uint8_t>(
-                    (v >> (j * weights.bits)) & mask);
     }
 
     // Group outlier corrections by row. The index slot under an
@@ -62,65 +52,13 @@ QuantizedLinear::QuantizedLinear(QuantizedTensor w, Tensor b,
 }
 
 void
-QuantizedLinear::decodeRow(std::size_t row, std::uint8_t *out) const
+QuantizedLinear::decodeRow(const KernelSet &kn, std::size_t row,
+                           std::uint8_t *out) const
 {
-    const std::uint8_t *bytes = weights.packedIndexes.data();
-    const unsigned b = weights.bits;
     const std::size_t n = weights.cols;
-    const std::uint32_t mask = (1u << b) - 1u;
-    std::size_t bit = row * n * b;
-    std::size_t i = 0;
-
-    // Scalar fallback: one index through a two-byte window. Also
-    // decodes the unaligned head and the tail around the bulk paths.
-    auto scalar = [&](std::size_t upto) {
-        for (; i < upto; ++i, bit += b) {
-            std::size_t byte = bit / 8;
-            auto shift = static_cast<unsigned>(bit % 8);
-            std::uint32_t window = bytes[byte];
-            if (shift + b > 8)
-                window |= static_cast<std::uint32_t>(bytes[byte + 1])
-                          << 8;
-            out[i] = static_cast<std::uint8_t>((window >> shift) & mask);
-        }
-    };
-
-    if (!decodeLut.empty()) {
-        // B divides 8: align to a byte, then one LUT row per byte.
-        unsigned per_byte = 8 / b;
-        while (i < n && bit % 8 != 0)
-            scalar(i + 1);
-        std::size_t byte = bit / 8;
-        while (n - i >= per_byte) {
-            const std::uint8_t *e =
-                decodeLut.data() + std::size_t{bytes[byte]} * per_byte;
-            std::copy(e, e + per_byte, out + i);
-            i += per_byte;
-            bit += 8;
-            ++byte;
-        }
-        scalar(n);
-    } else if (b == 3) {
-        // Align to a 24-bit group: 3 bytes hold 8 whole 3-bit indexes.
-        while (i < n && bit % 24 != 0)
-            scalar(i + 1);
-        std::size_t byte = bit / 8;
-        while (n - i >= 8) {
-            std::uint32_t g =
-                bytes[byte]
-                | static_cast<std::uint32_t>(bytes[byte + 1]) << 8
-                | static_cast<std::uint32_t>(bytes[byte + 2]) << 16;
-            for (unsigned j = 0; j < 8; ++j)
-                out[i + j] =
-                    static_cast<std::uint8_t>((g >> (3 * j)) & 7u);
-            i += 8;
-            bit += 24;
-            byte += 3;
-        }
-        scalar(n);
-    } else {
-        scalar(n);
-    }
+    kn.decodePackedRow(weights.packedIndexes.data(),
+                       weights.packedIndexes.size(),
+                       row * n * weights.bits, weights.bits, n, out);
 }
 
 Tensor
@@ -145,7 +83,7 @@ QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
                          seq * outliers.size());
         if (fmt == WeightFormat::Unpacked)
             obs->metrics.add(obs->qexecDecodeUnpacked);
-        else if (!decodeLut.empty())
+        else if (8 % weights.bits == 0)
             obs->metrics.add(obs->qexecDecodeLut);
         else if (weights.bits == 3)
             obs->metrics.add(obs->qexecDecodeGroup24);
@@ -167,27 +105,33 @@ QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
     }
 
     // Sequence-tiled execution: transpose the activations once per
-    // forward into kSeqTile-lane tiles ([tile][input][lane]), then run
-    // the three bucket phases with vertical SIMD across the lanes. Per
-    // lane the reduction order is exactly the historical scalar loop
-    // (ascending i, then c, then outlier index, all in double), so the
-    // tiled kernel — on every tier — is bit-identical to the original
-    // per-(s, o) loop. Only full tiles are transposed: a padded tail
-    // tile would spend kSeqTile lanes of kernel work on a few live
-    // rows (the pooler runs at seq == 1), so tail rows instead take
-    // the scalar per-lane path below, which applies the same reduction
+    // forward into seqTile-lane tiles ([tile][input][lane]) at the
+    // executing tier's width (8 for generic/avx2, 16 for avx512),
+    // then run the three bucket phases with vertical SIMD across the
+    // lanes. Per lane the reduction order is exactly the historical
+    // scalar loop (ascending i, then c, then outlier index, all in
+    // double), so the tiled kernel — on every tier, at every tile
+    // width — is bit-identical to the original per-(s, o) loop: lanes
+    // are independent sequence positions, and widening the tile only
+    // adds lanes. Only full tiles are transposed: a padded tail tile
+    // would spend seqTile lanes of kernel work on a few live rows
+    // (the pooler runs at seq == 1), so tail rows instead take the
+    // scalar per-lane path below, which applies the same reduction
     // order one lane at a time.
     const KernelSet &kn = resolveKernels(ctx.kernels);
-    std::size_t full_tiles = seq / kSeqTile;
-    std::size_t tail0 = full_tiles * kSeqTile;
-    std::vector<float> xt(full_tiles * in * kSeqTile);
+    const std::size_t tile_w = kn.seqTile;
+    fatalIf(tile_w == 0 || tile_w > kMaxSeqTile, "kernel tier '",
+            kn.name, "' has invalid seqTile ", tile_w);
+    std::size_t full_tiles = seq / tile_w;
+    std::size_t tail0 = full_tiles * tile_w;
+    std::vector<float> xt(full_tiles * in * tile_w);
     for (std::size_t t = 0; t < full_tiles; ++t) {
-        std::size_t s0 = t * kSeqTile;
-        float *tile = xt.data() + t * in * kSeqTile;
-        for (std::size_t l = 0; l < kSeqTile; ++l) {
+        std::size_t s0 = t * tile_w;
+        float *tile = xt.data() + t * in * tile_w;
+        for (std::size_t l = 0; l < tile_w; ++l) {
             const float *xrow = x.row(s0 + l).data();
             for (std::size_t i = 0; i < in; ++i)
-                tile[i * kSeqTile + l] = xrow[i];
+                tile[i * tile_w + l] = xrow[i];
         }
     }
 
@@ -206,10 +150,13 @@ QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
     // Scratch comes from the calling thread's arena (exec/scratch.hh):
     // the bucket accumulator tile is plain reusable storage, and for
     // Packed layers the whole row block is decoded into the arena's
-    // single-slot cache, so consecutive tile-block tasks of one row
-    // block (the common result of stealing a contiguous chunk) decode
-    // it only once. Nothing on this path allocates after warm-up.
+    // multi-slot cache, so consecutive tile-block tasks of one row
+    // block decode it only once — and a block that survives in cache
+    // across forwards (the pooler's, typically) never decodes again.
+    // Nothing on this path allocates after warm-up.
     bool packed = fmt == WeightFormat::Packed;
+    const Observer::QexecLayerIds *lids_ptr =
+        ctx.obs && packed ? &ctx.obs->layerIds(label) : nullptr;
     std::size_t tile_units = full_tiles + (tail0 < seq ? 1 : 0);
     std::size_t target = ctx.isParallel() ? ctx.threads * 4 : 1;
     std::size_t rblocks = std::min(out, target);
@@ -235,17 +182,29 @@ QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
             return;
         ScratchArena &arena = execScratch();
         const std::uint8_t *rows = nullptr;
-        if (packed)
+        if (packed) {
+            struct DecodeCtx
+            {
+                const QuantizedLinear *layer;
+                const KernelSet *kn;
+            } dctx{this, &kn};
+            bool hit = false;
             rows = arena.decodedRows(
                 scratchId, rb, o0, o1, in,
-                [](const void *self, std::size_t row,
-                   std::uint8_t *dst) {
-                    static_cast<const QuantizedLinear *>(self)
-                        ->decodeRow(row, dst);
+                [](const void *c, std::size_t row, std::uint8_t *dst) {
+                    const auto *d = static_cast<const DecodeCtx *>(c);
+                    d->layer->decodeRow(*d->kn, row, dst);
                 },
-                this);
-        double *bucket = arena.buckets(k * kSeqTile);
-        double acc[kSeqTile];
+                &dctx, &hit);
+            // Sharded counters are thread-safe, so tasks report their
+            // cache outcome directly (in rows, matching rows_decoded).
+            if (lids_ptr)
+                ctx.obs->metrics.add(hit ? lids_ptr->decodeCacheHits
+                                         : lids_ptr->decodeCacheMisses,
+                                     o1 - o0);
+        }
+        double *bucket = arena.buckets(k * tile_w);
+        double acc[kMaxSeqTile];
         OpCounts local;
         for (std::size_t o = o0; o < o1; ++o) {
             const std::uint8_t *irow = packed
@@ -256,8 +215,8 @@ QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
             double bias_o = bias(o);
             for (std::size_t u = u0; u < u1; ++u) {
                 if (u < full_tiles) {
-                    const float *tile = xt.data() + u * in * kSeqTile;
-                    std::size_t s0 = u * kSeqTile;
+                    const float *tile = xt.data() + u * in * tile_w;
+                    std::size_t s0 = u * tile_w;
                     // Phase 1: additions only — steer activations
                     // into the per-centroid buckets (the
                     // accelerator's accumulators), all lanes at once.
@@ -269,18 +228,18 @@ QuantizedLinear::forward(const ExecContext &ctx, const Tensor &x,
                     // lane.
                     kn.outlierTile(outliers.data() + o_begin,
                                    o_end - o_begin, tile, acc);
-                    for (std::size_t l = 0; l < kSeqTile; ++l)
+                    for (std::size_t l = 0; l < tile_w; ++l)
                         y.row(s0 + l).data()[o] =
                             static_cast<float>(acc[l]);
                     if (counts) {
                         local.additions +=
-                            kSeqTile * (in + k + (o_end - o_begin));
+                            tile_w * (in + k + (o_end - o_begin));
                         local.multiplications +=
-                            kSeqTile * (k + (o_end - o_begin));
+                            tile_w * (k + (o_end - o_begin));
                     }
                     continue;
                 }
-                // Tail rows (seq % kSeqTile): the same three phases,
+                // Tail rows (seq % seqTile): the same three phases,
                 // one lane at a time, straight off the untransposed
                 // rows. The per-lane reduction order matches the tile
                 // kernels exactly, so full-tile and tail outputs stay

@@ -57,11 +57,14 @@ struct OpCounts
  * The index stream can be held in either WeightFormat: Unpacked widens
  * every index to one byte at construction (decode-free access, ~8/B
  * times the container bytes resident); Packed keeps only the B-bit
- * stream resident and decodes one output row at a time inside the
- * bucket-accumulation kernel, through a per-byte LUT (B dividing 8), a
- * per-3-byte-group extraction (B = 3), or a scalar two-byte window
- * (B = 5..7). Both formats feed the identical bucket/table/correction
- * arithmetic, so their outputs are bit-identical.
+ * stream resident and decodes one output row at a time through the
+ * executing tier's KernelSet::decodePackedRow — the generic decoder
+ * uses a per-byte LUT (B dividing 8), a per-3-byte-group extraction
+ * (B = 3), or a scalar two-byte window (B = 5..7); the avx512 tier
+ * expands 64 indexes at a time in-register for B <= 6. Decode is
+ * integer-exact, so every tier produces identical bytes, and both
+ * formats feed the identical bucket/table/correction arithmetic —
+ * outputs are bit-identical across formats and tiers.
  */
 class QuantizedLinear
 {
@@ -77,8 +80,9 @@ class QuantizedLinear
 
     /**
      * Forward pass via sequence-tiled per-centroid accumulation: the
-     * activations are transposed once into kSeqTile-lane tiles, each
-     * weight row is decoded once, and the bucket/table/correction
+     * activations are transposed once into seqTile-lane tiles (the
+     * executing tier's width — 8 for generic/avx2, 16 for avx512),
+     * each weight row is decoded once, and the bucket/table/correction
      * phases run vertically across the lanes through the context's
      * kernel tier. x is [seq, in]. Parallelizes over a 2-D
      * output-row-block × sequence-tile-block grid on the context's
@@ -95,10 +99,13 @@ class QuantizedLinear
      *
      * With an observer on the context, each call records one span
      * (named by `label`) plus qexec.* counters: rows decoded, weight
-     * bytes streamed, outlier corrections applied, and which decode
+     * bytes streamed, outlier corrections applied, which decode
      * path ran (decode.lut / decode.group24 / decode.scalar /
-     * decode.unpacked). Instrumentation happens outside the kernel
-     * loops and never touches float math.
+     * decode.unpacked), and per-layer decoded-row cache hits/misses
+     * (qexec.layer.<label>.decode_cache_hits/_misses — how the
+     * pooler's cross-forward cache residency shows up in metrics).
+     * Instrumentation happens outside the kernel loops and never
+     * touches float math.
      */
     Tensor forward(const ExecContext &ctx, const Tensor &x,
                    OpCounts *counts = nullptr) const;
@@ -134,8 +141,10 @@ class QuantizedLinear
     std::size_t residentBytes() const;
 
   private:
-    /** Decode row `row`'s `cols` indexes from the packed stream. */
-    void decodeRow(std::size_t row, std::uint8_t *out) const;
+    /** Decode row `row`'s `cols` indexes from the packed stream via
+     * tier `kn`'s decoder (any tier yields identical bytes). */
+    void decodeRow(const KernelSet &kn, std::size_t row,
+                   std::uint8_t *out) const;
 
     QuantizedTensor weights;
     Tensor bias;
@@ -147,11 +156,6 @@ class QuantizedLinear
     std::uint64_t scratchId;
     /** Unpacked per-weight centroid indexes, row-major (Unpacked only). */
     std::vector<std::uint8_t> indexes;
-    /**
-     * Per-byte decode table (Packed, B dividing 8): 256 rows of the
-     * 8/B indexes each byte value contains, LSB-first.
-     */
-    std::vector<std::uint8_t> decodeLut;
     /**
      * One (column, correction) pair per outlier, grouped by row, in
      * the kernel layer's layout (kernels/kernels.hh) so phase 3 can

@@ -21,11 +21,20 @@
  * weights) and kernel accumulators that every task overwrites before
  * reading.
  *
- * The decoded-row cache is a single slot tagged by (owner id, row
- * block, row range): a worker that executes several sequence-tile
- * tasks of the same output-row block in a row decodes that block once.
- * Owners are identified by a process-unique id (never a pointer, which
- * could be reused after a layer is destroyed).
+ * The decoded-row cache is a bounded multi-slot cache tagged by
+ * (owner id, row block, row range, cols): each slot holds one decoded
+ * row block, the per-arena byte budget comes from GOBO_DECODE_CACHE_KB
+ * (default 1024 KB; 0 disables caching), and eviction is clock /
+ * second-chance — a slot referenced since the hand last passed gets
+ * one more revolution. Because slots persist across forwards, hot
+ * small layers (the pooler runs on every request) stop paying bit
+ * unpacking entirely after warm-up. A request larger than the budget
+ * bypasses the cache into a transient buffer, preserving the old
+ * single-use behavior. Owners are identified by a process-unique id
+ * (never a pointer, which could be reused after a layer is
+ * destroyed), so a new layer can never alias a dead one's slots.
+ * Cache capacity is charged to the run's resident footprint
+ * (model/footprint.hh), keeping the compression story honest.
  */
 
 #ifndef GOBO_EXEC_SCRATCH_HH
@@ -39,13 +48,17 @@
 namespace gobo {
 
 /** Aggregate scratch counters across every live arena (see
- * scratchStats()). Decode hits/misses are counted in rows. */
+ * scratchStats()). Decode hits/misses are counted in rows; the cache
+ * fields are bytes (held / budgeted) and evicted slots. */
 struct ScratchStats
 {
     std::uint64_t arenas = 0;       ///< threads that touched scratch.
     std::uint64_t bytesReserved = 0; ///< sum of buffer capacities.
     std::uint64_t decodeRowHits = 0; ///< rows served from the cache.
     std::uint64_t decodeRowMisses = 0; ///< rows actually decoded.
+    std::uint64_t decodeCacheBytes = 0; ///< decoded bytes held.
+    std::uint64_t decodeCacheCapacity = 0; ///< sum of arena budgets.
+    std::uint64_t decodeCacheEvictions = 0; ///< slots evicted.
 };
 
 /** One thread's grow-only scratch buffers. Not thread-safe by design;
@@ -53,7 +66,8 @@ struct ScratchStats
 class ScratchArena
 {
   public:
-    ScratchArena();
+    /** Budget defaults to decodeCacheBudgetBytes() (the env knob). */
+    explicit ScratchArena(std::size_t cacheBudget = std::size_t(-1));
     ~ScratchArena();
     ScratchArena(const ScratchArena &) = delete;
     ScratchArena &operator=(const ScratchArena &) = delete;
@@ -70,30 +84,55 @@ class ScratchArena
     /**
      * Decoded indexes for rows [row0, row1) of owner `ownerId`, one
      * byte per weight, `cols` per row, consecutive rows `cols` apart.
-     * Served from the single-slot cache when the tag (ownerId, block,
-     * row0, row1) matches the previous call on this thread; otherwise
-     * decode(ctx, row, dst) is invoked once per row. Invalidated by
-     * the next decodedRows() call (buckets() leaves it intact).
+     * Served from the slot whose tag (ownerId, block, row0, row1,
+     * cols) matches; otherwise decode(ctx, row, dst) is invoked once
+     * per row into a cache slot (evicting clock-wise to fit the
+     * budget) or, for blocks larger than the whole budget, into a
+     * transient buffer. The pointer is invalidated by the next
+     * decodedRows() call (buckets() leaves it intact). `hit`, when
+     * non-null, reports whether the block came from cache.
      */
     const std::uint8_t *decodedRows(std::uint64_t ownerId,
                                     std::size_t block, std::size_t row0,
                                     std::size_t row1, std::size_t cols,
-                                    RowDecodeFn decode, const void *ctx);
+                                    RowDecodeFn decode, const void *ctx,
+                                    bool *hit = nullptr);
+
+    /** Replace the cache budget, dropping every cached slot (test and
+     * tooling hook; the hot path never calls this). */
+    void setDecodeCacheBudget(std::size_t bytes);
+
+    /** This arena's cache budget in bytes. */
+    std::size_t decodeCacheBudget() const { return budget; }
 
   private:
     friend ScratchStats scratchStats();
 
-    std::vector<double> bucketBuf;
-    std::vector<std::uint8_t> rowBuf;
+    /** One cached row block; `owner == kEmptyTag` means free. */
+    struct Slot
+    {
+        std::uint64_t owner;
+        std::size_t block, row0, row1, cols;
+        bool referenced; ///< clock second-chance bit.
+        std::vector<std::uint8_t> buf;
+    };
+    static constexpr std::uint64_t kEmptyTag = ~std::uint64_t{0};
 
-    // Cache tag for rowBuf's contents; ~0 means empty.
-    std::uint64_t tagOwner = ~std::uint64_t{0};
-    std::size_t tagBlock = 0, tagRow0 = 0, tagRow1 = 0, tagCols = 0;
+    void updateReserved();
+
+    std::vector<double> bucketBuf;
+    std::vector<std::uint8_t> rowBuf; ///< over-budget transient blocks.
+    std::vector<Slot> slots;
+    std::size_t clockHand = 0;
+    std::size_t budget;
+    std::size_t heldBytes = 0; ///< sum of live slots' buf sizes.
 
     // Relaxed atomics: bumped only by the owning thread, read by
     // scratchStats() from anywhere.
     std::atomic<std::uint64_t> rowHits{0};
     std::atomic<std::uint64_t> rowMisses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> cacheBytes{0};
     std::atomic<std::size_t> reserved{0};
 };
 
@@ -107,6 +146,14 @@ ScratchStats scratchStats();
 /** A process-unique id for tagging decoded rows in the arenas. Taken
  * once per owner (e.g. per QuantizedLinear) at construction. */
 std::uint64_t nextScratchOwnerId();
+
+/**
+ * The per-arena decoded-row cache budget: GOBO_DECODE_CACHE_KB
+ * kilobytes (strictly parsed; invalid values warn and fall back),
+ * default 1024 KB. 0 disables caching — every block decodes into the
+ * transient buffer.
+ */
+std::size_t decodeCacheBudgetBytes();
 
 } // namespace gobo
 

@@ -387,6 +387,7 @@ avx2KernelsBuild()
     static const KernelSet set = {
         "avx2",
         /*reassociates=*/true,
+        /*seqTile=*/kSeqTile,
         dotAvx2,
         axpyAvx2,
         softmaxRowAvx2,
@@ -396,6 +397,7 @@ avx2KernelsBuild()
         bucketAccTileAvx2,
         centroidDotTileAvx2,
         outlierTileAvx2,
+        decodePackedRowGeneric,
     };
     return &set;
 }

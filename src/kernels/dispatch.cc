@@ -3,10 +3,12 @@
  * Runtime kernel-tier selection: cpuid probe + GOBO_KERNEL override.
  *
  * The active tier is resolved once, on first use, from the best tier
- * the CPU supports; GOBO_KERNEL=generic|avx2|native pins it (native is
- * the cpuid choice, i.e. the default). Requesting a tier the CPU or
- * the build cannot run is fatal rather than a silent downgrade — a CI
- * leg that asks for avx2 must bench avx2 or fail loudly.
+ * the CPU supports; GOBO_KERNEL=generic|avx2|avx512|native pins it
+ * (native is the cpuid choice, i.e. the default — avx512 over avx2
+ * over generic). Requesting a tier the CPU or the build cannot run is
+ * fatal rather than a silent downgrade — a CI leg that asks for
+ * avx512 must bench avx512 or fail loudly — and the error names the
+ * feature set the tier actually needs.
  */
 
 #include "kernels/kernels.hh"
@@ -19,9 +21,10 @@
 
 namespace gobo {
 
-// Defined in avx2.cc: the AVX2 tier when that file was compiled with
-// AVX2+FMA enabled, nullptr otherwise.
+// Defined in avx2.cc / avx512.cc: the tier when that file was compiled
+// with the matching ISA enabled, nullptr otherwise.
 const KernelSet *avx2KernelsBuild();
+const KernelSet *avx512KernelsBuild();
 
 bool
 cpuSupportsAvx2()
@@ -34,11 +37,45 @@ cpuSupportsAvx2()
 #endif
 }
 
+bool
+cpuSupportsAvx512()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx512f")
+           && __builtin_cpu_supports("avx512bw")
+           && __builtin_cpu_supports("avx512dq")
+           && __builtin_cpu_supports("avx512vl");
+#else
+    return false;
+#endif
+}
+
+/** VBMI probe for the avx512 tier's in-register decode fast path
+ * (queried by avx512.cc at KernelSet construction). */
+bool
+cpuSupportsAvx512Vbmi()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return cpuSupportsAvx512()
+           && __builtin_cpu_supports("avx512vbmi");
+#else
+    return false;
+#endif
+}
+
 const KernelSet *
 avx2Kernels()
 {
     static const KernelSet *set =
         cpuSupportsAvx2() ? avx2KernelsBuild() : nullptr;
+    return set;
+}
+
+const KernelSet *
+avx512Kernels()
+{
+    static const KernelSet *set =
+        cpuSupportsAvx512() ? avx512KernelsBuild() : nullptr;
     return set;
 }
 
@@ -55,12 +92,23 @@ kernelsByName(std::string_view name)
                 " does not support AVX2+FMA");
         return *avx2;
     }
+    if (name == "avx512") {
+        const KernelSet *avx512 = avx512Kernels();
+        fatalIf(avx512 == nullptr,
+                "kernel tier 'avx512' requested but this ",
+                avx512KernelsBuild() == nullptr ? "build" : "CPU",
+                " does not support AVX-512 F+BW+DQ+VL");
+        return *avx512;
+    }
     if (name == "native") {
-        const KernelSet *avx2 = avx2Kernels();
-        return avx2 ? *avx2 : genericKernels();
+        if (const KernelSet *avx512 = avx512Kernels())
+            return *avx512;
+        if (const KernelSet *avx2 = avx2Kernels())
+            return *avx2;
+        return genericKernels();
     }
     fatal("unknown kernel tier '", std::string(name),
-          "' (expected generic, avx2, or native)");
+          "' (expected generic, avx2, avx512, or native)");
 }
 
 namespace {

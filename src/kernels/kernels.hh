@@ -4,9 +4,9 @@
  *
  * Every hot inner loop in the repo — the dense dot/axpy kernels under
  * matmul/linear/attention, the row ops (softmax, layernorm, GELU,
- * tanh), and the sequence-tiled bucket kernel that executes the GOBO
- * compressed format — is reached through a KernelSet of function
- * pointers. Two tiers exist:
+ * tanh), the sequence-tiled bucket kernel that executes the GOBO
+ * compressed format, and the packed-index row decoder — is reached
+ * through a KernelSet of function pointers. Three tiers exist:
  *
  *   generic  scalar loops with exactly the pre-SIMD reduction order;
  *            bit-identical to the historical outputs by construction.
@@ -15,18 +15,26 @@
  *            they match generic only to tolerance; the quantized
  *            bucket-tile kernels keep the per-lane double arithmetic
  *            and order of the scalar loop and stay bit-identical.
+ *   avx512   AVX-512 F+BW+DQ+VL kernels: 16-wide dense/row kernels
+ *            with masked tails, 16-lane bucket-tile kernels, and —
+ *            when the CPU also has VBMI — an in-register packed-row
+ *            decoder (vpermb + vpmultishiftqb) for B <= 6.
  *
  * The active tier is chosen once at startup: cpuid picks the best
  * supported tier, and the GOBO_KERNEL environment variable
- * (generic|avx2|native) overrides it. ExecContext carries an optional
- * per-context override for tests and tools; a null pointer means the
- * process-wide active tier.
+ * (generic|avx2|avx512|native) overrides it. ExecContext carries an
+ * optional per-context override for tests and tools; a null pointer
+ * means the process-wide active tier.
  *
  * Determinism contract (DESIGN.md §11): Serial/Parallel backends and
  * Packed/Unpacked formats are bit-identical *within* a tier; across
  * tiers, quantized FC outputs are bit-identical while dense ops carry
- * tolerance-level differences. NaN and Inf propagate through every
- * kernel in both tiers.
+ * tolerance-level differences. The sequence tile width is a per-tier
+ * property (KernelSet::seqTile) — lanes are independent sequence
+ * positions, so widening the tile cannot change per-lane arithmetic.
+ * Row decode produces exact bytes (a pure function of the packed
+ * stream), so every tier's decoder is interchangeable. NaN and Inf
+ * propagate through every kernel in every tier.
  */
 
 #ifndef GOBO_KERNELS_KERNELS_HH
@@ -39,13 +47,15 @@
 namespace gobo {
 
 /**
- * Lanes in the sequence-tiled bucket kernel: one tile covers up to
- * kSeqTile sequence positions, accumulated vertically. Tile buffers
- * (transposed activations, buckets, accumulators) are always allocated
- * and strided at kSeqTile; a partial tail tile zero-pads the unused
- * lanes, whose results are simply never stored.
+ * Default lane count of the sequence-tiled bucket kernels, and the
+ * width of the generic and avx2 tiers. The *active* width is the
+ * per-tier KernelSet::seqTile (16 for avx512); tile buffers
+ * (transposed activations, buckets, accumulators) are allocated and
+ * strided at the executing tier's width. kMaxSeqTile bounds every
+ * tier's width so stack accumulators can be sized statically.
  */
 inline constexpr std::size_t kSeqTile = 8;
+inline constexpr std::size_t kMaxSeqTile = 16;
 
 /**
  * One outlier's contribution to a quantized FC row: the weight sits at
@@ -62,22 +72,28 @@ struct OutlierTerm
  * One dispatchable kernel tier. All pointers are non-null in every
  * registered tier. Buffer contracts:
  *
- *   - xT is a transposed activation tile: kSeqTile floats per input
+ *   - xT is a transposed activation tile: seqTile floats per input
  *     feature, laid out [i][lane], zero-padded in unused lanes.
- *   - bucket is k * kSeqTile doubles, [centroid][lane].
- *   - acc is kSeqTile doubles, one per lane.
+ *   - bucket is k * seqTile doubles, [centroid][lane].
+ *   - acc is seqTile doubles, one per lane.
  */
 struct KernelSet
 {
-    /** Tier name: "generic" or "avx2". */
+    /** Tier name: "generic", "avx2", or "avx512". */
     const char *name;
     /**
-     * True when the dense/row kernels reassociate float math (AVX2
-     * tier); false when every kernel keeps the exact scalar order.
+     * True when the dense/row kernels reassociate float math (SIMD
+     * tiers); false when every kernel keeps the exact scalar order.
      * The bucket-tile kernels are bit-identical across tiers either
      * way.
      */
     bool reassociates;
+    /**
+     * Sequence lanes per bucket tile for this tier (<= kMaxSeqTile).
+     * Tiling, scratch strides, and the 2-D partitioner all follow this
+     * width; the tile kernels below hard-code it internally.
+     */
+    std::size_t seqTile;
 
     /** Fold-left dot product: init + sum_i a[i]*b[i] in index order. */
     float (*dot)(float init, const float *a, const float *b,
@@ -117,6 +133,18 @@ struct KernelSet
      */
     void (*outlierTile)(const OutlierTerm *terms, std::size_t count,
                         const float *xT, double *acc);
+
+    /**
+     * Expand `n` consecutive `bits`-wide indexes, starting `bitOffset`
+     * bits into the packed stream `bytes` (of `byteLen` total bytes),
+     * into one byte each. Decode is integer-exact, so tiers may
+     * restructure it freely — the output bytes are identical across
+     * tiers and the decoded-row cache never keys on the tier.
+     */
+    void (*decodePackedRow)(const std::uint8_t *bytes,
+                            std::size_t byteLen, std::size_t bitOffset,
+                            std::uint32_t bits, std::size_t n,
+                            std::uint8_t *out);
 };
 
 /** The scalar reference tier (always available). */
@@ -128,14 +156,34 @@ const KernelSet &genericKernels();
  */
 const KernelSet *avx2Kernels();
 
+/**
+ * The AVX-512 tier (F+BW+DQ+VL, with a VBMI fast-path decoder picked
+ * at runtime), or nullptr when the build or the CPU does not support
+ * it.
+ */
+const KernelSet *avx512Kernels();
+
 /** True when the running CPU exposes AVX2 and FMA. */
 bool cpuSupportsAvx2();
 
+/** True when the running CPU exposes AVX-512 F, BW, DQ, and VL. */
+bool cpuSupportsAvx512();
+
+/**
+ * The reference scalar row decoder (byte-LUT for B dividing 8, 24-bit
+ * groups for B=3, two-byte windows otherwise). Every tier without a
+ * native decoder points at this; exposed for tests.
+ */
+void decodePackedRowGeneric(const std::uint8_t *bytes,
+                            std::size_t byteLen, std::size_t bitOffset,
+                            std::uint32_t bits, std::size_t n,
+                            std::uint8_t *out);
+
 /**
  * The process-wide active tier: the best tier the CPU supports, unless
- * the GOBO_KERNEL environment variable (generic|avx2|native) says
- * otherwise. Resolved once on first call; fatal when GOBO_KERNEL names
- * an unsupported or unknown tier.
+ * the GOBO_KERNEL environment variable (generic|avx2|avx512|native)
+ * says otherwise. Resolved once on first call; fatal when GOBO_KERNEL
+ * names an unsupported or unknown tier.
  */
 const KernelSet &activeKernels();
 
@@ -145,8 +193,9 @@ const KernelSet &activeKernels();
  */
 void setActiveKernels(const KernelSet &kernels);
 
-/** Look up a tier by name ("generic", "avx2", "native"); fatal on an
- * unknown name or a tier the CPU cannot run. */
+/** Look up a tier by name ("generic", "avx2", "avx512", "native");
+ * fatal on an unknown name or a tier the CPU cannot run. The error
+ * names the feature set the tier actually needs. */
 const KernelSet &kernelsByName(std::string_view name);
 
 /** Resolve an ExecContext-style override: null means the active tier. */

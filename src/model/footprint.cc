@@ -2,6 +2,8 @@
 
 #include <cstdint>
 
+#include "exec/scratch.hh"
+
 namespace gobo {
 
 Footprint
@@ -43,6 +45,12 @@ packedResidentBytes(std::size_t elements, unsigned bits,
 {
     return (elements * bits + 7) / 8
            + tableAndOutlierBytes(centroid_count, outlier_count);
+}
+
+std::size_t
+decodeCacheResidentBytes(std::size_t threads)
+{
+    return threads * decodeCacheBudgetBytes();
 }
 
 double

@@ -225,6 +225,9 @@ appendScratchCounters(MetricsSnapshot &snap, const ScratchStats &s)
     put("scratch.bytes_reserved", s.bytesReserved);
     put("scratch.decode_row_hits", s.decodeRowHits);
     put("scratch.decode_row_misses", s.decodeRowMisses);
+    put("scratch.decode_cache_bytes", s.decodeCacheBytes);
+    put("scratch.decode_cache_capacity", s.decodeCacheCapacity);
+    put("scratch.decode_cache_evictions", s.decodeCacheEvictions);
 }
 
 void
@@ -267,6 +270,11 @@ appendScratchGauges(MetricsSnapshot &snap, const ScratchStats &s)
         {"scratch.decode_row_hit_rate",
          static_cast<double>(s.decodeRowHits) /
              static_cast<double>(lookups)});
+    if (s.decodeCacheCapacity > 0)
+        snap.gauges.push_back(
+            {"scratch.decode_cache_fill",
+             static_cast<double>(s.decodeCacheBytes) /
+                 static_cast<double>(s.decodeCacheCapacity)});
 }
 
 std::vector<SpanSummary>

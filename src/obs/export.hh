@@ -54,8 +54,9 @@ void appendPoolCounters(MetricsSnapshot &snap, const PoolTelemetry &pool);
 
 /**
  * Fold scratch-arena statistics (exec/scratch.hh) into `snap` as
- * `scratch.*` counters: live arenas, bytes reserved, and decoded-row
- * cache hits/misses.
+ * `scratch.*` counters: live arenas, bytes reserved, decoded-row
+ * cache hits/misses, and the cache's held bytes, budgeted capacity,
+ * and eviction count (`scratch.decode_cache_*`).
  */
 void appendScratchCounters(MetricsSnapshot &snap, const ScratchStats &s);
 
@@ -79,10 +80,11 @@ void appendTraceCounters(MetricsSnapshot &snap, const Tracer &tracer);
 void appendPmuMetrics(MetricsSnapshot &snap, const PmuSnapshot &pmu);
 
 /**
- * Derive the decoded-row cache hit rate gauge
- * (`scratch.decode_row_hit_rate` = hits / (hits + misses)) from
- * scratch counters; no gauge is appended when the run decoded nothing,
- * because 0/0 is not a measurement.
+ * Derive the decoded-row cache gauges from scratch counters:
+ * `scratch.decode_row_hit_rate` (hits / (hits + misses)) and
+ * `scratch.decode_cache_fill` (held bytes / budgeted capacity). No
+ * gauge is appended when the run decoded nothing, because 0/0 is not
+ * a measurement.
  */
 void appendScratchGauges(MetricsSnapshot &snap, const ScratchStats &s);
 

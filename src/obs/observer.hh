@@ -134,6 +134,12 @@ class Observer
         CounterId rowsDecoded;
         CounterId bytesStreamed;
         CounterId outlierCorrections;
+        // Decoded-row cache outcome per row block (Packed only):
+        // rows served from a scratch-arena slot vs rows decoded. The
+        // pooler showing hits > 0 across forwards is the decode
+        // cache's whole point.
+        CounterId decodeCacheHits;
+        CounterId decodeCacheMisses;
     };
 
     /**
@@ -160,6 +166,10 @@ class Observer
                 metrics.counter(prefix + ".bytes_streamed");
             ids.outlierCorrections =
                 metrics.counter(prefix + ".outlier_corrections");
+            ids.decodeCacheHits =
+                metrics.counter(prefix + ".decode_cache_hits");
+            ids.decodeCacheMisses =
+                metrics.counter(prefix + ".decode_cache_misses");
             it = layerIdsByLabel.emplace(label, ids).first;
         }
         return it->second;

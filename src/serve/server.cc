@@ -8,6 +8,7 @@
 #include <map>
 #include <ostream>
 
+#include "kernels/kernels.hh"
 #include "obs/observer.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
@@ -42,6 +43,8 @@ ServeServer::ServeServer(const InferenceSession &session,
                          ServeOptions options)
     : session(session), opt(options)
 {
+    if (opt.tileLanes == 0)
+        opt.tileLanes = resolveKernels(session.context().kernels).seqTile;
     fatalIf(opt.tileLanes == 0, "serve: tileLanes must be positive");
     fatalIf(opt.bandWidth == 0, "serve: bandWidth must be positive");
     fatalIf(opt.maxQueue == 0, "serve: maxQueue must be positive");

@@ -3,8 +3,10 @@
  * Continuous-batching admission layer in front of InferenceSession.
  *
  * Requests enter an admission queue, a batch former coalesces them
- * into sequence tiles — kSeqTile = 8 lanes, grouped by length band so
- * a tile never mixes a 3-token probe with a 500-token document — and
+ * into sequence tiles — tileLanes lanes (the executing kernel tier's
+ * seqTile by default: 8 for generic/avx2, 16 for avx512), grouped by
+ * length band so a tile never mixes a 3-token probe with a 500-token
+ * document — and
  * each tile is dispatched as one batched forward. A band flushes when
  * its tile fills or when its oldest request has waited
  * `flushDeadlineUs`, whichever comes first; under overload the server
@@ -83,9 +85,12 @@ struct ServeOptions
     /** Per-request SLO: shed at dispatch once queue wait exceeds this.
      * 0 disables deadline shedding. */
     std::uint64_t requestDeadlineUs = 0;
-    /** Lanes per dispatch tile — qexec's kSeqTile, so a full tile
-     * keeps every SIMD lane of the batched forward busy. */
-    std::size_t tileLanes = 8;
+    /** Lanes per dispatch tile. 0 (the default) resolves to the
+     * executing kernel tier's KernelSet::seqTile at server
+     * construction, so a full tile keeps every SIMD lane of the
+     * batched forward busy; the resolved value is what gets stamped
+     * into the options JSON. */
+    std::size_t tileLanes = 0;
     /** Length-band granularity: band = (len - 1) / bandWidth. */
     std::size_t bandWidth = 16;
     /** Virtual service model: tokens per second one server drains. */
@@ -198,6 +203,13 @@ class ServeServer
     /** The per-run metrics registry (latency/queue-wait/exec
      * histograms plus serve.* counters); valid after runTrace. */
     const MetricsRegistry &metrics() const { return registry; }
+
+    /** The options the server actually runs under — defaults resolved
+     * (tileLanes = the kernel tier's seqTile). Pass *these* to the
+     * JSON writers, never the caller's pre-construction copy: the
+     * stamp exists so diffs refuse across different geometry, and an
+     * unresolved 0 would make different tile widths compare equal. */
+    const ServeOptions &options() const { return opt; }
 
   private:
     const InferenceSession &session;

@@ -3,8 +3,13 @@
  * Subprocess tests for tools/bench_diff.py: the machine-dependent
  * block contract (a candidate-only `pmu` block is explicitly skipped,
  * never gated), the unknown-bench error naming the known dispatch
- * keys, and the micro_kernels throughput gate. These run the real
- * script with python3; hosts without an interpreter skip.
+ * keys, the micro_kernels throughput gate, and the tile-width
+ * refusals — a forward candidate whose seq_tile or decode_cache_kb
+ * stamp differs from the baseline's exits 2, kernel rows sharing a
+ * key but disagreeing on per-result seq_tile exit 2, and a
+ * candidate-only tier prints an explicit not-gated line instead of
+ * failing. These run the real script with python3; hosts without an
+ * interpreter skip.
  */
 
 #include <gtest/gtest.h>
@@ -147,6 +152,103 @@ TEST(BenchDiffTest, KernelsThroughputCollapseFails)
                 writeTemp("kcand_slow.json", cand));
     EXPECT_EQ(r.exit, 1) << r.output;
     EXPECT_NE(r.output.find("FAIL"), std::string::npos) << r.output;
+}
+
+/** Minimal forward doc: enough stamps for the environment gates plus
+ * empty measurement blocks so a matching pair diffs clean. */
+std::string
+forwardDoc(int seqTile, int cacheKb)
+{
+    std::ostringstream os;
+    os << "{\n  \"bench\": \"micro_forward\",\n"
+       << "  \"kernel_tier\": \"generic\",\n  \"threads\": 1,\n"
+       << "  \"seq_tile\": " << seqTile << ",\n"
+       << "  \"decode_cache_kb\": " << cacheKb << ",\n"
+       << "  \"results\": [], \"scaling\": [], \"spans\": []\n}\n";
+    return os.str();
+}
+
+TEST(BenchDiffTest, ForwardSeqTileMismatchIsRefused)
+{
+    if (!havePython())
+        GTEST_SKIP() << "python3 not available";
+
+    DiffResult r =
+        runDiff(writeTemp("fbase_tile.json", forwardDoc(8, 1024)),
+                writeTemp("fcand_tile.json", forwardDoc(16, 1024)));
+    EXPECT_EQ(r.exit, 2) << r.output;
+    EXPECT_NE(r.output.find("seq_tile mismatch"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("regenerate the baseline"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(BenchDiffTest, ForwardDecodeCacheMismatchIsRefused)
+{
+    if (!havePython())
+        GTEST_SKIP() << "python3 not available";
+
+    DiffResult r =
+        runDiff(writeTemp("fbase_dc.json", forwardDoc(8, 1024)),
+                writeTemp("fcand_dc.json", forwardDoc(8, 64)));
+    EXPECT_EQ(r.exit, 2) << r.output;
+    EXPECT_NE(r.output.find("decode_cache_kb mismatch"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(BenchDiffTest, KernelsPerResultSeqTileMismatchIsRefused)
+{
+    if (!havePython())
+        GTEST_SKIP() << "python3 not available";
+
+    // Same (kernel, tier, bits) key, different per-result tile width:
+    // the working set changed, so GB/s carries no signal.
+    std::string base =
+        "{\n  \"bench\": \"micro_kernels\",\n  \"seq_tile\": 8,\n"
+        "  \"results\": [\n"
+        "    {\"kernel\": \"bucket_acc_tile\", \"tier\": \"avx512\","
+        " \"bits\": 3, \"n\": 3072, \"seq_tile\": 8,"
+        " \"gb_per_sec\": 10.0, \"gflop_per_sec\": 2.5}\n  ]\n}\n";
+    std::string cand =
+        "{\n  \"bench\": \"micro_kernels\",\n  \"seq_tile\": 8,\n"
+        "  \"results\": [\n"
+        "    {\"kernel\": \"bucket_acc_tile\", \"tier\": \"avx512\","
+        " \"bits\": 3, \"n\": 3072, \"seq_tile\": 16,"
+        " \"gb_per_sec\": 20.0, \"gflop_per_sec\": 5.0}\n  ]\n}\n";
+    DiffResult r = runDiff(writeTemp("kbase_tile.json", base),
+                           writeTemp("kcand_tile.json", cand));
+    EXPECT_EQ(r.exit, 2) << r.output;
+    EXPECT_NE(r.output.find("per-result seq_tile mismatch"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(BenchDiffTest, CandidateOnlyTierIsSkippedNotGated)
+{
+    if (!havePython())
+        GTEST_SKIP() << "python3 not available";
+
+    // The candidate machine runs a tier the baseline machine lacked
+    // (e.g. avx512): its rows are acknowledged, never thresholded.
+    std::string cand = std::string(
+        "{\n  \"bench\": \"micro_kernels\",\n  \"seq_tile\": 8,\n"
+        "  \"results\": [\n"
+        "    {\"kernel\": \"dot\", \"tier\": \"generic\", \"bits\": 0,"
+        " \"n\": 4096, \"gb_per_sec\": 10.0, \"gflop_per_sec\": 2.5},\n"
+        "    {\"kernel\": \"dot\", \"tier\": \"avx512\", \"bits\": 0,"
+        " \"n\": 4096, \"seq_tile\": 16, \"gb_per_sec\": 40.0,"
+        " \"gflop_per_sec\": 10.0}\n  ]\n}\n");
+    DiffResult r =
+        runDiff(writeTemp("kbase_newtier.json", kernelsBaseline()),
+                writeTemp("kcand_newtier.json", cand));
+    EXPECT_EQ(r.exit, 0) << r.output;
+    EXPECT_NE(r.output.find("dot/avx512"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("new in candidate; not gated"),
+              std::string::npos)
+        << r.output;
 }
 
 TEST(BenchDiffTest, IdenticalKernelsFilesPass)

@@ -108,6 +108,8 @@ renderForward()
     doc.threads = 4;
     doc.cores = 8;
     doc.kernelTier = "avx2";
+    doc.seqTile = 8;
+    doc.decodeCacheKb = 1024;
     doc.results.push_back({"fp32", "serial", 123.4, 1u << 20});
     doc.results.push_back({"qexec", "parallel", 456.7, 1u << 17});
     doc.scaling.push_back({1, 100.0, 1.0});
@@ -126,9 +128,9 @@ kernelsDoc()
 {
     benchjson::KernelsDoc doc;
     doc.seqTile = 8;
-    doc.results.push_back({"dot", "generic", 0, 4096, 10.2, 2.5});
+    doc.results.push_back({"dot", "generic", 0, 4096, 8, 10.2, 2.5});
     doc.results.push_back(
-        {"bucket_acc_tile", "avx2", 3, 3072, 12.6, 3.0});
+        {"bucket_acc_tile", "avx2", 3, 3072, 8, 12.6, 3.0});
     return doc;
 }
 

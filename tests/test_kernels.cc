@@ -6,10 +6,17 @@
  *   - the generic tier is bit-identical to the pre-kernel-layer
  *     scalar code (golden logits captured before the refactor);
  *   - the sequence-tiled bucket kernels are bit-identical across
- *     tiers (compressed-domain FC outputs never depend on the tier);
- *   - the dense/row AVX2 kernels match generic to tolerance, on every
- *     tail length, and propagate NaN/Inf exactly.
- * AVX2-specific cases skip on hosts without AVX2+FMA.
+ *     tiers (compressed-domain FC outputs never depend on the tier),
+ *     asserted per-lane against a scalar reference at each tier's own
+ *     seqTile width (8 for generic/avx2, 16 for avx512);
+ *   - packed-row decode (KernelSet::decodePackedRow) is integer-exact
+ *     on every tier, for every B, unaligned bit offsets, and lengths
+ *     around the 64-index bulk-group boundary;
+ *   - the dense/row SIMD kernels match generic to tolerance, on every
+ *     masked-tail length, and propagate NaN/Inf exactly.
+ * AVX2 cases skip on hosts without AVX2+FMA; AVX-512 cases skip (with
+ * a message) on hosts without F+BW+DQ+VL or when the build lacks the
+ * tier.
  */
 
 #include <gtest/gtest.h>
@@ -41,6 +48,34 @@ constexpr float kInf = std::numeric_limits<float>::infinity();
     const KernelSet *avx2 = avx2Kernels();                               \
     if (!avx2)                                                           \
     GTEST_SKIP() << "AVX2+FMA tier unavailable on this host"
+
+#define SKIP_WITHOUT_AVX512()                                            \
+    const KernelSet *avx512 = avx512Kernels();                           \
+    if (!avx512)                                                         \
+    GTEST_SKIP() << "AVX-512 F+BW+DQ+VL tier unavailable on this host "  \
+                    "(CPU or build lacks it); cross-tier identity "      \
+                    "still covered by generic/avx2"
+
+/** Every tier the host can run; generic is always first. */
+std::vector<const KernelSet *>
+allTiers()
+{
+    std::vector<const KernelSet *> tiers = {&genericKernels()};
+    if (const KernelSet *a = avx2Kernels())
+        tiers.push_back(a);
+    if (const KernelSet *a = avx512Kernels())
+        tiers.push_back(a);
+    return tiers;
+}
+
+/** The SIMD tiers only (everything after generic). */
+std::vector<const KernelSet *>
+simdTiers()
+{
+    auto tiers = allTiers();
+    tiers.erase(tiers.begin());
+    return tiers;
+}
 
 Tensor
 randomTensor(std::size_t r, std::size_t c, std::uint64_t seed)
@@ -172,6 +207,34 @@ TEST(Dispatch, Avx2TierMatchesCpuid)
     if (a) {
         EXPECT_STREQ(a->name, "avx2");
         EXPECT_TRUE(a->reassociates);
+        EXPECT_EQ(a->seqTile, kSeqTile);
+    }
+}
+
+TEST(Dispatch, Avx512TierMatchesCpuidAndWidensTile)
+{
+    const KernelSet *a = avx512Kernels();
+    if (a) {
+        EXPECT_TRUE(cpuSupportsAvx512());
+        EXPECT_STREQ(a->name, "avx512");
+        EXPECT_TRUE(a->reassociates);
+        EXPECT_EQ(a->seqTile, 16u);
+        EXPECT_LE(a->seqTile, kMaxSeqTile);
+        EXPECT_NE(a->decodePackedRow, nullptr);
+    }
+    // avx512Kernels() may be null on a supporting CPU when the *build*
+    // lacks the tier, so only the one-way implication holds.
+    if (!cpuSupportsAvx512())
+        EXPECT_EQ(a, nullptr);
+}
+
+TEST(Dispatch, EveryTierCarriesTileWidthAndDecode)
+{
+    for (const KernelSet *t : allTiers()) {
+        SCOPED_TRACE(t->name);
+        EXPECT_GE(t->seqTile, 1u);
+        EXPECT_LE(t->seqTile, kMaxSeqTile);
+        EXPECT_NE(t->decodePackedRow, nullptr);
     }
 }
 
@@ -234,9 +297,7 @@ TEST(GoldenGeneric, QuantizedPackedLogitsMatchPreKernelBuild)
 
 TEST(QexecTile, ForwardMatchesScalarReferenceEverywhere)
 {
-    std::vector<const KernelSet *> tiers = {&genericKernels()};
-    if (const KernelSet *a = avx2Kernels())
-        tiers.push_back(a);
+    std::vector<const KernelSet *> tiers = allTiers();
 
     std::size_t in = 24, out = 10;
     for (unsigned bits : {2u, 3u, 4u}) {
@@ -252,9 +313,14 @@ TEST(QexecTile, ForwardMatchesScalarReferenceEverywhere)
         ASSERT_GT(qt.outlierPositions.size(), 0u)
             << "fuzz layer should have outliers to cover phase 3";
 
-        for (std::size_t seq : {std::size_t{1}, std::size_t{7},
-                                std::size_t{8}, std::size_t{9},
-                                std::size_t{13}}) {
+        // 1 = the pooler path; 7/8/9/13 = partial and exact 8-lane
+        // tiles; 15/16/17 and 31/32/33 bracket the avx512 16-lane
+        // tile and its masked tails.
+        for (std::size_t seq :
+             {std::size_t{1}, std::size_t{7}, std::size_t{8},
+              std::size_t{9}, std::size_t{13}, std::size_t{15},
+              std::size_t{16}, std::size_t{17}, std::size_t{31},
+              std::size_t{32}, std::size_t{33}}) {
             Tensor x = randomTensor(seq, in, 3000 + seq * 17 + bits);
             Tensor ref = scalarReference(qt, bias, x);
             for (auto fmt :
@@ -299,7 +365,8 @@ TEST(QexecTile, OpCountsUnchangedBySequenceTiling)
 
 TEST(QexecTile, WholeModelBitIdenticalAcrossTiers)
 {
-    SKIP_WITHOUT_AVX2();
+    if (simdTiers().empty())
+        GTEST_SKIP() << "no SIMD tier available on this host";
     GoldenSetup g = goldenSetup();
     ModelQuantOptions qopt;
     qopt.base.bits = 3;
@@ -318,9 +385,12 @@ TEST(QexecTile, WholeModelBitIdenticalAcrossTiers)
     ASSERT_FALSE(layers.empty());
     const QuantizedLinear &first = *layers.front();
     Tensor a = first.forward(tierCtx(genericKernels()), x);
-    Tensor b = first.forward(tierCtx(*avx2), x);
-    for (std::size_t i = 0; i < a.size(); ++i)
-        EXPECT_EQ(a.flat()[i], b.flat()[i]) << i;
+    for (const KernelSet *simd : simdTiers()) {
+        Tensor b = first.forward(tierCtx(*simd), x);
+        for (std::size_t i = 0; i < a.size(); ++i)
+            EXPECT_EQ(a.flat()[i], b.flat()[i])
+                << simd->name << " i=" << i;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -385,13 +455,134 @@ TEST(BucketKernels, TilePhasesExactAcrossTiers)
     }
 }
 
+TEST(BucketKernels, TilePhasesMatchPerLaneReferenceAtNativeWidth)
+{
+    // Each tier's tile kernels at the tier's own seqTile width against
+    // a per-lane scalar reference (ascending i / c / outlier order,
+    // double mul-then-add) — the same contract scalarReference() pins
+    // end-to-end, here per kernel so a 16-lane avx512 tile is checked
+    // lane by lane rather than through an 8-lane peer.
+    std::mt19937_64 eng(19);
+    for (const KernelSet *tier : allTiers()) {
+        const KernelSet &kn = *tier;
+        const std::size_t tile = kn.seqTile;
+        SCOPED_TRACE(kn.name);
+        for (unsigned bits = 2; bits <= 8; bits += 3) {
+            std::size_t k = std::size_t{1} << bits;
+            for (std::size_t in : {std::size_t{1}, std::size_t{13},
+                                   std::size_t{64}, std::size_t{257}}) {
+                std::vector<std::uint8_t> irow(in);
+                for (auto &v : irow)
+                    v = static_cast<std::uint8_t>(eng() % k);
+                auto xt = randomVec(in * tile, eng());
+
+                std::vector<double> bucket(k * tile, -1.0);
+                kn.bucketAccTile(irow.data(), in, xt.data(),
+                                 bucket.data(), k);
+                std::vector<double> ref(k * tile, 0.0);
+                for (std::size_t i = 0; i < in; ++i)
+                    for (std::size_t l = 0; l < tile; ++l)
+                        ref[irow[i] * tile + l] +=
+                            static_cast<double>(xt[i * tile + l]);
+                for (std::size_t i = 0; i < bucket.size(); ++i)
+                    ASSERT_EQ(bucket[i], ref[i])
+                        << "bits=" << bits << " in=" << in
+                        << " i=" << i;
+
+                auto centroids = randomVec(k, eng());
+                std::vector<double> acc(tile);
+                kn.centroidDotTile(centroids.data(), k, bucket.data(),
+                                   0.25, acc.data());
+                std::vector<double> acc_ref(tile, 0.25);
+                for (std::size_t c = 0; c < k; ++c)
+                    for (std::size_t l = 0; l < tile; ++l)
+                        acc_ref[l] += static_cast<double>(centroids[c])
+                                      * bucket[c * tile + l];
+                for (std::size_t l = 0; l < tile; ++l)
+                    ASSERT_EQ(acc[l], acc_ref[l]) << l;
+
+                std::vector<OutlierTerm> terms;
+                for (std::size_t t = 0; t < in / 2 + 1; ++t)
+                    terms.push_back(
+                        {static_cast<std::uint32_t>(eng() % in),
+                         static_cast<float>(
+                             static_cast<double>(eng() % 1000) / 250.0
+                             - 2.0)});
+                auto out_ref = acc_ref;
+                kn.outlierTile(terms.data(), terms.size(), xt.data(),
+                               acc.data());
+                for (const auto &term : terms)
+                    for (std::size_t l = 0; l < tile; ++l)
+                        out_ref[l] +=
+                            static_cast<double>(term.correction)
+                            * xt[term.column * tile + l];
+                for (std::size_t l = 0; l < tile; ++l)
+                    ASSERT_EQ(acc[l], out_ref[l]) << l;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packed-row decode: integer-exact on every tier, for every B,
+// unaligned bit offsets, and lengths bracketing the 64-index bulk
+// group of the avx512 VBMI path. Short buffers (no slack past the
+// last packed byte) exercise the bulk loop's load guard.
+
+TEST(DecodeRow, MatchesBitstreamReferenceEveryTier)
+{
+    std::mt19937_64 eng(99);
+    auto tiers = allTiers();
+    for (std::uint32_t b = 2; b <= 8; ++b) {
+        for (std::size_t n :
+             {std::size_t{1}, std::size_t{7}, std::size_t{63},
+              std::size_t{64}, std::size_t{65}, std::size_t{127},
+              std::size_t{129}, std::size_t{300}}) {
+            for (std::size_t off : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{3}, std::size_t{8},
+                                    std::size_t{21}}) {
+                // Exactly the bytes the stream needs — the bulk paths
+                // must not read past byteLen.
+                std::size_t total_bits = off + n * b;
+                std::vector<std::uint8_t> bytes((total_bits + 7) / 8);
+                for (auto &v : bytes)
+                    v = static_cast<std::uint8_t>(eng());
+
+                std::vector<std::uint8_t> ref(n);
+                std::uint32_t mask = (1u << b) - 1u;
+                for (std::size_t i = 0; i < n; ++i) {
+                    std::size_t bit = off + i * b;
+                    std::uint32_t window = bytes[bit / 8];
+                    if (bit % 8 + b > 8)
+                        window |= static_cast<std::uint32_t>(
+                                      bytes[bit / 8 + 1])
+                                  << 8;
+                    ref[i] = static_cast<std::uint8_t>(
+                        (window >> (bit % 8)) & mask);
+                }
+
+                for (const KernelSet *tier : tiers) {
+                    std::vector<std::uint8_t> out(n, 0xAA);
+                    tier->decodePackedRow(bytes.data(), bytes.size(),
+                                          off, b, n, out.data());
+                    for (std::size_t i = 0; i < n; ++i)
+                        ASSERT_EQ(out[i], ref[i])
+                            << tier->name << " b=" << b << " n=" << n
+                            << " off=" << off << " i=" << i;
+                }
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Dense/row kernels: AVX2 matches generic to tolerance on every tail
 // length (the vector kernels switch to scalar tails mid-row).
 
 TEST(DenseKernels, DotToleranceFuzzWithTails)
 {
-    SKIP_WITHOUT_AVX2();
+    if (simdTiers().empty())
+        GTEST_SKIP() << "no SIMD tier available on this host";
     const KernelSet &gen = genericKernels();
     for (std::size_t n : kFuzzLengths) {
         auto a = randomVec(n, 10 + n);
@@ -406,86 +597,104 @@ TEST(DenseKernels, DotToleranceFuzzWithTails)
         double tol = 1e-5 * sum_abs;
         EXPECT_NEAR(gen.dot(0.5f, a.data(), b.data(), n), ref, tol)
             << n;
-        EXPECT_NEAR(avx2->dot(0.5f, a.data(), b.data(), n), ref, tol)
-            << n;
+        for (const KernelSet *simd : simdTiers())
+            EXPECT_NEAR(simd->dot(0.5f, a.data(), b.data(), n), ref,
+                        tol)
+                << simd->name << " n=" << n;
     }
 }
 
 TEST(DenseKernels, AxpyToleranceFuzzWithTails)
 {
-    SKIP_WITHOUT_AVX2();
+    if (simdTiers().empty())
+        GTEST_SKIP() << "no SIMD tier available on this host";
     const KernelSet &gen = genericKernels();
     for (std::size_t n : kFuzzLengths) {
         auto x = randomVec(n, 30 + n);
         auto y0 = randomVec(n, 40 + n);
-        auto yg = y0, ya = y0;
+        auto yg = y0;
         gen.axpy(0.75f, x.data(), yg.data(), n);
-        avx2->axpy(0.75f, x.data(), ya.data(), n);
-        for (std::size_t i = 0; i < n; ++i)
-            EXPECT_NEAR(yg[i], ya[i], 1e-6 * (1.0 + std::abs(yg[i])))
-                << "n=" << n << " i=" << i;
+        for (const KernelSet *simd : simdTiers()) {
+            auto ya = y0;
+            simd->axpy(0.75f, x.data(), ya.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_NEAR(yg[i], ya[i],
+                            1e-6 * (1.0 + std::abs(yg[i])))
+                    << simd->name << " n=" << n << " i=" << i;
+        }
     }
 }
 
 TEST(RowKernels, ToleranceFuzzWithTails)
 {
-    SKIP_WITHOUT_AVX2();
+    if (simdTiers().empty())
+        GTEST_SKIP() << "no SIMD tier available on this host";
     const KernelSet &gen = genericKernels();
-    for (std::size_t n : kFuzzLengths) {
-        auto gamma = randomVec(n, 50 + n);
-        auto beta = randomVec(n, 60 + n);
+    for (const KernelSet *simd : simdTiers()) {
+        SCOPED_TRACE(simd->name);
+        for (std::size_t n : kFuzzLengths) {
+            auto gamma = randomVec(n, 50 + n);
+            auto beta = randomVec(n, 60 + n);
 
-        auto sg = randomVec(n, 70 + n, 2.0f);
-        auto sa = sg;
-        gen.softmaxRow(sg.data(), n);
-        avx2->softmaxRow(sa.data(), n);
-        double sum = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            EXPECT_NEAR(sg[i], sa[i], 1e-5) << "softmax n=" << n;
-            sum += sa[i];
+            auto sg = randomVec(n, 70 + n, 2.0f);
+            auto sa = sg;
+            gen.softmaxRow(sg.data(), n);
+            simd->softmaxRow(sa.data(), n);
+            double sum = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                EXPECT_NEAR(sg[i], sa[i], 1e-5) << "softmax n=" << n;
+                sum += sa[i];
+            }
+            EXPECT_NEAR(sum, 1.0, 1e-4) << n;
+
+            auto lg = randomVec(n, 80 + n, 2.0f);
+            auto la = lg;
+            gen.layerNormRow(lg.data(), n, gamma.data(), beta.data(),
+                             1e-5f);
+            simd->layerNormRow(la.data(), n, gamma.data(), beta.data(),
+                               1e-5f);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_NEAR(lg[i], la[i],
+                            1e-4 * (1.0 + std::abs(lg[i])))
+                    << "layernorm n=" << n << " i=" << i;
+
+            auto gg = randomVec(n, 90 + n, 2.0f);
+            auto ga = gg;
+            gen.geluRow(gg.data(), n);
+            simd->geluRow(ga.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_NEAR(gg[i], ga[i],
+                            1e-5 * (1.0 + std::abs(gg[i])))
+                    << "gelu n=" << n << " i=" << i;
+
+            auto tg = randomVec(n, 100 + n, 3.0f);
+            auto ta = tg;
+            gen.tanhRow(tg.data(), n);
+            simd->tanhRow(ta.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_NEAR(tg[i], ta[i], 1e-5) << "tanh n=" << n;
         }
-        EXPECT_NEAR(sum, 1.0, 1e-4) << n;
-
-        auto lg = randomVec(n, 80 + n, 2.0f);
-        auto la = lg;
-        gen.layerNormRow(lg.data(), n, gamma.data(), beta.data(),
-                         1e-5f);
-        avx2->layerNormRow(la.data(), n, gamma.data(), beta.data(),
-                           1e-5f);
-        for (std::size_t i = 0; i < n; ++i)
-            EXPECT_NEAR(lg[i], la[i], 1e-4 * (1.0 + std::abs(lg[i])))
-                << "layernorm n=" << n << " i=" << i;
-
-        auto gg = randomVec(n, 90 + n, 2.0f);
-        auto ga = gg;
-        gen.geluRow(gg.data(), n);
-        avx2->geluRow(ga.data(), n);
-        for (std::size_t i = 0; i < n; ++i)
-            EXPECT_NEAR(gg[i], ga[i], 1e-5 * (1.0 + std::abs(gg[i])))
-                << "gelu n=" << n << " i=" << i;
-
-        auto tg = randomVec(n, 100 + n, 3.0f);
-        auto ta = tg;
-        gen.tanhRow(tg.data(), n);
-        avx2->tanhRow(ta.data(), n);
-        for (std::size_t i = 0; i < n; ++i)
-            EXPECT_NEAR(tg[i], ta[i], 1e-5) << "tanh n=" << n;
     }
 }
 
 TEST(RowKernels, DenseForwardCloseAcrossTiers)
 {
-    // End-to-end tolerance: whole FP32 logits generic vs AVX2 agree to
-    // a few decimal places (reassociation only, no algorithm change).
-    SKIP_WITHOUT_AVX2();
+    // End-to-end tolerance: whole FP32 logits generic vs each SIMD
+    // tier agree to a few decimal places (reassociation only, no
+    // algorithm change).
+    if (simdTiers().empty())
+        GTEST_SKIP() << "no SIMD tier available on this host";
     GoldenSetup g = goldenSetup();
     InferenceSession sg(g.model, tierCtx(genericKernels()));
-    InferenceSession sa(std::move(g.model), tierCtx(*avx2));
     Tensor lg = sg.headLogits(g.tokens);
-    Tensor la = sa.headLogits(g.tokens);
-    ASSERT_EQ(lg.size(), la.size());
-    for (std::size_t i = 0; i < lg.size(); ++i)
-        EXPECT_NEAR(lg(i), la(i), 1e-3 * (1.0 + std::abs(lg(i)))) << i;
+    for (const KernelSet *simd : simdTiers()) {
+        InferenceSession sa(g.model, tierCtx(*simd));
+        Tensor la = sa.headLogits(g.tokens);
+        ASSERT_EQ(lg.size(), la.size());
+        for (std::size_t i = 0; i < lg.size(); ++i)
+            EXPECT_NEAR(lg(i), la(i), 1e-3 * (1.0 + std::abs(lg(i))))
+                << simd->name << " i=" << i;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -494,12 +703,9 @@ TEST(RowKernels, DenseForwardCloseAcrossTiers)
 
 TEST(NanInf, PropagatesThroughEveryKernel)
 {
-    std::vector<const KernelSet *> tiers = {&genericKernels()};
-    if (const KernelSet *a = avx2Kernels())
-        tiers.push_back(a);
-
-    for (const KernelSet *tier : tiers) {
+    for (const KernelSet *tier : allTiers()) {
         const KernelSet &kn = *tier;
+        const std::size_t tile = kn.seqTile;
         SCOPED_TRACE(kn.name);
 
         for (std::size_t n : {std::size_t{9}, std::size_t{33}}) {
@@ -564,31 +770,32 @@ TEST(NanInf, PropagatesThroughEveryKernel)
             EXPECT_EQ(th[2], -1.0f);
 
             // bucket tile: a NaN/Inf lane contaminates exactly the
-            // buckets its indexes touch, per lane.
+            // buckets its indexes touch, per lane — at the tier's own
+            // tile width.
             std::size_t in = n, k = 4;
             std::vector<std::uint8_t> irow(in);
             for (std::size_t i = 0; i < in; ++i)
                 irow[i] = static_cast<std::uint8_t>(i % k);
-            std::vector<float> xt(in * kSeqTile, 1.0f);
-            xt[0 * kSeqTile + 3] = kNan; // i = 0 (bucket 0), lane 3
-            xt[1 * kSeqTile + 5] = kInf; // i = 1 (bucket 1), lane 5
-            std::vector<double> bucket(k * kSeqTile);
+            std::vector<float> xt(in * tile, 1.0f);
+            xt[0 * tile + 3] = kNan; // i = 0 (bucket 0), lane 3
+            xt[1 * tile + 5] = kInf; // i = 1 (bucket 1), lane 5
+            std::vector<double> bucket(k * tile);
             kn.bucketAccTile(irow.data(), in, xt.data(), bucket.data(),
                              k);
-            EXPECT_TRUE(std::isnan(bucket[0 * kSeqTile + 3]));
-            EXPECT_EQ(bucket[1 * kSeqTile + 5],
+            EXPECT_TRUE(std::isnan(bucket[0 * tile + 3]));
+            EXPECT_EQ(bucket[1 * tile + 5],
                       std::numeric_limits<double>::infinity());
-            EXPECT_FALSE(std::isnan(bucket[0 * kSeqTile + 2]));
+            EXPECT_FALSE(std::isnan(bucket[0 * tile + 2]));
 
             // ...and flows through phases 2 and 3.
             std::vector<float> centroids(k, 1.0f);
-            double acc[kSeqTile];
+            std::vector<double> acc(tile);
             kn.centroidDotTile(centroids.data(), k, bucket.data(), 0.0,
-                               acc);
+                               acc.data());
             EXPECT_TRUE(std::isnan(acc[3]));
             EXPECT_EQ(acc[5], std::numeric_limits<double>::infinity());
             OutlierTerm term{0, 2.0f};
-            kn.outlierTile(&term, 1, xt.data(), acc);
+            kn.outlierTile(&term, 1, xt.data(), acc.data());
             EXPECT_TRUE(std::isnan(acc[3]));
         }
     }

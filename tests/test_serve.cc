@@ -248,6 +248,9 @@ TEST(Serve, TileOccupancyAccountsFilledLanes)
     }
     InferenceSession session = makeSession(false, WeightFormat::Packed);
     ServeOptions opt;
+    // The default resolves to the executing tier's seqTile (8 or 16);
+    // pin the width the hand-built arithmetic below assumes.
+    opt.tileLanes = 8;
     ServeServer server(session, opt);
     ServeRun run = server.runTrace(trace);
     EXPECT_EQ(run.summary.completed, 17u);

@@ -266,6 +266,10 @@ stressOptions()
     opt.requestDeadlineUs = 30000;
     // ~400ms of trace at 50ms windows: several nonempty windows.
     opt.timelineWindowUs = 50000;
+    // Pin the tile width (the default resolves to the executing
+    // tier's seqTile) so lane bounds and shed decisions are the same
+    // on every host these tests run on.
+    opt.tileLanes = 8;
     return opt;
 }
 

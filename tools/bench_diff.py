@@ -14,6 +14,10 @@ the committed bench/baseline/BENCH_forward.json) on three axes:
     the candidate is slower than 40% of baseline).
   * per-span mean_us for spans present in both files — flags any span
     whose mean latency grew by more than `--span-tol` (default 2.0x).
+  * seq_tile / decode_cache_kb environment stamps — a candidate whose
+    sequence-tile width or decoded-row cache budget differs from the
+    baseline's is refused (exit 2), exactly like a kernel-tier or
+    thread-count mismatch.
   * the candidate's thread-scaling curve (`scaling[]`) — parallel
     efficiency must stay above `--scaling-eff` (speedup_vs_serial >=
     eff * threads; the default 0.375 demands 1.5x at 4 threads). The
@@ -27,8 +31,12 @@ the committed bench/baseline/BENCH_forward.json) on three axes:
 micro_kernels — compares per-(kernel, tier, bits) GB/s of streamed
 operands at the loose `--tps-tol` fraction (kernel throughput is
 wall-clock and noisy, like tokens/sec). Baseline tiers the candidate
-machine cannot run (e.g. an AVX2 row against a generic-only host)
-carry no signal and are skipped with a note rather than failed.
+machine cannot run (e.g. an AVX-512 row against an AVX2-only host)
+carry no signal and are skipped with a note rather than failed;
+candidate-only rows (a tier the baseline machine lacked) print an
+explicit "new in candidate; not gated" line. Rows sharing a key but
+disagreeing on `seq_tile` are refused — tile kernels process seq_tile
+lanes per call, so GB/s is only comparable at equal width.
 
 Machine-dependent blocks — when the candidate carries a top-level
 block the baseline lacks *and* that block is in the known
@@ -157,6 +165,25 @@ def spans_by_name(data):
 
 def diff_forward(base, cand, args):
     failures = []
+
+    # The sequence-tile width and decoded-row cache budget are part of
+    # the environment stamp, like the kernel tier: a 16-lane candidate
+    # against an 8-lane baseline measures batching granularity, and a
+    # different cache budget shifts both throughput and the resident
+    # accounting. Either mismatch is a refusal, not a failure. Files
+    # from before the fields existed read as None — regenerate.
+    for key, why in (
+        ("seq_tile", "cross-width diffs measure batching granularity, "
+                     "not a regression"),
+        ("decode_cache_kb", "the budget shifts throughput and resident "
+                            "accounting"),
+    ):
+        if base.get(key) != cand.get(key):
+            refuse(
+                f"bench_diff: {key} mismatch: baseline "
+                f"{base.get(key)} vs candidate {cand.get(key)} — "
+                f"{why} (a missing value means the file predates the "
+                f"field; regenerate the baseline)")
 
     base_r = results_by_key(base)
     cand_r = results_by_key(cand)
@@ -298,6 +325,13 @@ def diff_kernels(base, cand, args):
                 failures.append(f"missing result for {name}")
             continue
         b, c = base_r[key], cand_r[key]
+        st_b, st_c = b.get("seq_tile"), c.get("seq_tile")
+        if st_b is not None and st_c is not None and st_b != st_c:
+            refuse(
+                f"bench_diff: {name}: per-result seq_tile mismatch: "
+                f"baseline {st_b} vs candidate {st_c} — tile kernels "
+                f"process seq_tile lanes per call, so GB/s is only "
+                f"comparable at equal width")
         gb_b = b.get("gb_per_sec", 0)
         gb_c = c.get("gb_per_sec", 0)
         if gb_b > 0:

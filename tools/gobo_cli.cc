@@ -11,7 +11,7 @@
  *   gobo inspect   model.gobm | model.gobc
  *   gobo infer     model.gobm | model.gobc [--batch B] [--seq-len S]
  *                  [--threads N] [--backend serial|parallel]
- *                  [--kernel generic|avx2|native]
+ *                  [--kernel generic|avx2|avx512|native]
  *                  [--engine fp32|qexec] [--format unpacked|packed]
  *                  [--seed N] [--trace OUT.json] [--metrics]
  *                  [--metrics-json OUT.json]
@@ -21,7 +21,7 @@
  *                  [--seq-len S] [--seed N] [--json OUT.json]
  *   gobo serve     model.gobm | model.gobc --trace SPEC
  *                  [--threads N] [--backend serial|parallel]
- *                  [--kernel generic|avx2|native]
+ *                  [--kernel generic|avx2|avx512|native]
  *                  [--engine fp32|qexec] [--format unpacked|packed]
  *                  [--max-queue N] [--flush-deadline-us N]
  *                  [--deadline-us N] [--band-width N]
@@ -32,6 +32,7 @@
  *   gobo top       model.gobm | model.gobc --trace SPEC
  *                  [same execution/admission flags as serve]
  *                  [--window-us N] [--timeline-out OUT.json]
+ *   gobo kernels
  *
  * `generate` writes a synthetic FP32 checkpoint (see model/generate);
  * `compress` produces the GOBC container and prints the per-layer
@@ -55,7 +56,10 @@
  * --timeline-out` writes the gobo-timeline-v1 document (windowed
  * virtual-time series + flight-recorder tail; DESIGN.md §14), and
  * `top` runs the same serve stack but renders that series as a
- * per-window console view instead of the run summary.
+ * per-window console view instead of the run summary. `kernels`
+ * probes the host: one line per SIMD tier (runnable or not, with its
+ * sequence-tile width) plus the active tier — CI uses it to decide
+ * which GOBO_KERNEL matrix cells the runner supports.
  */
 
 #include <cstdio>
@@ -111,7 +115,7 @@ usage(const char *msg = nullptr)
         "  gobo inspect   FILE\n"
         "  gobo infer     FILE [--batch B] [--seq-len S] [--threads N]\n"
         "                 [--backend serial|parallel]"
-        " [--kernel generic|avx2|native]\n"
+        " [--kernel generic|avx2|avx512|native]\n"
         "                 [--engine fp32|qexec]"
         " [--format unpacked|packed] [--seed N]\n"
         "                 [--trace OUT.json] [--metrics]"
@@ -123,7 +127,7 @@ usage(const char *msg = nullptr)
         "                 [--json OUT.json] [--pmu]\n"
         "  gobo serve     FILE --trace SPEC [--threads N]\n"
         "                 [--backend serial|parallel]"
-        " [--kernel generic|avx2|native]\n"
+        " [--kernel generic|avx2|avx512|native]\n"
         "                 [--engine fp32|qexec]"
         " [--format unpacked|packed]\n"
         "                 [--max-queue N] [--flush-deadline-us N]"
@@ -136,6 +140,8 @@ usage(const char *msg = nullptr)
         "  gobo top       FILE --trace SPEC [serve flags]"
         " [--window-us N]\n"
         "                 [--timeline-out OUT.json]\n"
+        "  gobo kernels   (probe: one line per SIMD tier on this"
+        " host)\n"
         "\nfamilies: bert-base bert-large distilbert roberta"
         " roberta-large\n"
         "trace spec: n=1000,seed=42,rate=300,len=1:32,long=0.25"
@@ -729,6 +735,10 @@ runServeStack(const Args &args, Observer *obs, ServeOptions &sopt,
                 backendName(ctx.backend), ctx.threads, kernels.name);
 
     ServeServer server(*session, sopt);
+    // Hand the caller the options the server resolved (tileLanes
+    // defaults to the kernel tier's seqTile) so the JSON stamp
+    // records the real geometry.
+    sopt = server.options();
     return server.runTrace(trace);
 }
 
@@ -853,6 +863,33 @@ cmdTop(const Args &args)
     return 0;
 }
 
+/**
+ * Host probe: which SIMD tiers this machine can run, each with its
+ * sequence-tile width, plus the tier the process resolved (cpuid best
+ * or GOBO_KERNEL). Machine-parsable one-liner per tier so CI can gate
+ * matrix cells: `grep -q '^avx512 runnable' || skip`.
+ */
+int
+cmdKernels(const Args &)
+{
+    struct
+    {
+        const char *name;
+        const KernelSet *set;
+    } tiers[] = {{"generic", &genericKernels()},
+                 {"avx2", avx2Kernels()},
+                 {"avx512", avx512Kernels()}};
+    for (const auto &t : tiers) {
+        if (t.set)
+            std::printf("%-8s runnable seq_tile=%zu\n", t.name,
+                        t.set->seqTile);
+        else
+            std::printf("%-8s unavailable\n", t.name);
+    }
+    std::printf("active: %s\n", activeKernels().name);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -879,6 +916,8 @@ main(int argc, char **argv)
             return cmdServe(args);
         if (cmd == "top")
             return cmdTop(args);
+        if (cmd == "kernels")
+            return cmdKernels(args);
         usage(("unknown command: " + cmd).c_str());
     } catch (const gobo::FatalError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());
